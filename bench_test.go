@@ -1,0 +1,194 @@
+// Benchmarks regenerating the paper's tables and figures (one target per
+// artifact; see DESIGN.md §4 for the index) plus micro-benchmarks of the core
+// algorithms. Each experiment bench runs the quick-mode harness once per
+// iteration on a fresh environment, so reported ns/op is the cost of
+// regenerating the artifact end to end; `go run ./cmd/benchall` produces the
+// paper-scale numbers recorded in EXPERIMENTS.md.
+package relativekeys_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/xai-db/relativekeys/internal/core"
+	"github.com/xai-db/relativekeys/internal/dataset"
+	"github.com/xai-db/relativekeys/internal/experiments"
+	"github.com/xai-db/relativekeys/internal/feature"
+	"github.com/xai-db/relativekeys/internal/model"
+)
+
+// benchEnv is shared across experiment benches within one `go test -bench`
+// process so dataset/model training is amortized; results stay deterministic
+// because the harness seeds everything.
+var benchEnv = experiments.NewEnv(experiments.Config{Quick: true, Instances: 10, Seed: 11})
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Run(benchEnv, id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s: empty table", id)
+		}
+	}
+}
+
+// --- §7.2 case study -------------------------------------------------------
+
+func BenchmarkTable3_ImportanceScores(b *testing.B) { runExperiment(b, "T3") }
+func BenchmarkFig1_CaseStudy(b *testing.B)          { runExperiment(b, "F1") }
+func BenchmarkIDSCaseStudy(b *testing.B)            { runExperiment(b, "IDS") }
+
+// --- §7.3 efficiency and quality -------------------------------------------
+
+func BenchmarkTable4_Efficiency(b *testing.B)       { runExperiment(b, "T4") }
+func BenchmarkFig3a_Conformity(b *testing.B)        { runExperiment(b, "F3a") }
+func BenchmarkFig3b_Precision(b *testing.B)         { runExperiment(b, "F3b") }
+func BenchmarkFig3c_Recall(b *testing.B)            { runExperiment(b, "F3c") }
+func BenchmarkFig3d_Succinctness(b *testing.B)      { runExperiment(b, "F3d") }
+func BenchmarkFig3e_Faithfulness(b *testing.B)      { runExperiment(b, "F3e") }
+func BenchmarkFig3f_AlphaSuccinctness(b *testing.B) { runExperiment(b, "F3f") }
+func BenchmarkFig3g_AlphaTime(b *testing.B)         { runExperiment(b, "F3g") }
+func BenchmarkFig3h_BucketsConformity(b *testing.B) { runExperiment(b, "F3h") }
+func BenchmarkFig3i_BucketsRecallSucc(b *testing.B) { runExperiment(b, "F3i") }
+func BenchmarkFig3j_ContextSize(b *testing.B)       { runExperiment(b, "F3j") }
+
+// --- §7.4 online monitoring --------------------------------------------------
+
+func BenchmarkFig3k_OnlineContext(b *testing.B)     { runExperiment(b, "F3k") }
+func BenchmarkFig3l_DriftSuccinctness(b *testing.B) { runExperiment(b, "F3l") }
+func BenchmarkFig3m_DriftAccuracy(b *testing.B)     { runExperiment(b, "F3m") }
+func BenchmarkSec74_OnlineQuality(b *testing.B)     { runExperiment(b, "S74") }
+
+// --- §7.5 entity matching ----------------------------------------------------
+
+func BenchmarkFig3n_EMConformity(b *testing.B)   { runExperiment(b, "F3n") }
+func BenchmarkFig3o_EMPrecision(b *testing.B)    { runExperiment(b, "F3o") }
+func BenchmarkFig3p_EMFaithfulness(b *testing.B) { runExperiment(b, "F3p") }
+func BenchmarkSec75_EMEfficiency(b *testing.B)   { runExperiment(b, "S75") }
+
+// --- Appendix B ---------------------------------------------------------------
+
+func BenchmarkFig4abc_AlphaPrecision(b *testing.B) {
+	for _, id := range []string{"F4a", "F4b", "F4c"} {
+		id := id
+		b.Run(id, func(b *testing.B) { runExperiment(b, id) })
+	}
+}
+func BenchmarkFig4d_BucketsFaithfulness(b *testing.B) { runExperiment(b, "F4d") }
+func BenchmarkFig4e_SSRKContext(b *testing.B)         { runExperiment(b, "F4e") }
+func BenchmarkFig4f_DynamicRecall(b *testing.B)       { runExperiment(b, "F4f") }
+func BenchmarkFig4g_DynamicConformity(b *testing.B)   { runExperiment(b, "F4g") }
+func BenchmarkFig4h_DeltaI(b *testing.B)              { runExperiment(b, "F4h") }
+
+// --- ablations -----------------------------------------------------------------
+
+func BenchmarkAblationSRKOrdering(b *testing.B)   { runExperiment(b, "AB-SRK-ORDER") }
+func BenchmarkAblationBitsetVsNaive(b *testing.B) { runExperiment(b, "AB-BITSET") }
+func BenchmarkAblationOSRKWeights(b *testing.B)   { runExperiment(b, "AB-OSRK-WEIGHTS") }
+func BenchmarkAblationSSRKPotential(b *testing.B) { runExperiment(b, "AB-SSRK-POTENTIAL") }
+func BenchmarkAblationWindowPolicy(b *testing.B)  { runExperiment(b, "AB-WINDOW-POLICY") }
+
+// --- core algorithm micro-benchmarks ---------------------------------------------
+
+// benchContext builds a deterministic context over the Loan dataset with the
+// predictions of a trained forest.
+func benchContext(b *testing.B) (*core.Context, []feature.Labeled, *feature.Schema) {
+	b.Helper()
+	ds, err := dataset.Load("loan", dataset.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := model.TrainForest(ds.Schema, ds.Train(), model.ForestConfig{NumTrees: 11, MaxDepth: 5, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var inference []feature.Labeled
+	for _, li := range ds.Test() {
+		inference = append(inference, feature.Labeled{X: li.X, Y: m.Predict(li.X)})
+	}
+	ctx, err := core.NewContext(ds.Schema, inference)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ctx, inference, ds.Schema
+}
+
+func BenchmarkSRK(b *testing.B) {
+	ctx, inference, _ := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		li := inference[i%len(inference)]
+		if _, err := core.SRK(ctx, li.X, li.Y, 1.0); err != nil && err != core.ErrNoKey {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSRKAlpha09(b *testing.B) {
+	ctx, inference, _ := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		li := inference[i%len(inference)]
+		if _, err := core.SRK(ctx, li.X, li.Y, 0.9); err != nil && err != core.ErrNoKey {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOSRKObserve(b *testing.B) {
+	_, inference, schema := benchContext(b)
+	o, err := core.NewOSRK(schema, inference[0].X, inference[0].Y, 1.0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Observe(inference[i%len(inference)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSSRKObserve(b *testing.B) {
+	_, inference, schema := benchContext(b)
+	s, err := core.NewSSRK(schema, inference, inference[0].X, inference[0].Y, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Observe(rng.Intn(len(inference))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkViolations(b *testing.B) {
+	ctx, inference, _ := benchContext(b)
+	key := core.NewKey(0, 5, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		li := inference[i%len(inference)]
+		core.Violations(ctx, li.X, li.Y, key)
+	}
+}
+
+func BenchmarkAblationFormalOracle(b *testing.B) { runExperiment(b, "AB-FORMAL-ORACLE") }
+func BenchmarkAblationParallel(b *testing.B)     { runExperiment(b, "AB-PARALLEL") }
+
+func BenchmarkContextShapley(b *testing.B) {
+	ctx, inference, _ := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		li := inference[i%len(inference)]
+		if _, err := core.ContextShapley(ctx, li.X, li.Y, 32, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSummary76(b *testing.B) { runExperiment(b, "SUMMARY") }

@@ -1,0 +1,66 @@
+// Command benchall regenerates the paper's tables and figures (see DESIGN.md
+// for the experiment index) and prints them as text tables.
+//
+// Usage:
+//
+//	benchall [-quick] [-instances N] [-seed S] [-id T4 -id F3a ...]
+//
+// Without -id, every registered experiment runs in order. -quick shrinks
+// datasets and sample counts for a fast end-to-end pass; omit it to run at
+// the paper's scale (Table 1 sizes, 100 explained instances per dataset).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/xai-db/relativekeys/internal/experiments"
+)
+
+type idList []string
+
+func (l *idList) String() string { return strings.Join(*l, ",") }
+
+func (l *idList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var (
+		quick     = flag.Bool("quick", false, "shrink datasets and samples for a fast pass")
+		instances = flag.Int("instances", 0, "explained instances per dataset (default 100; 12 with -quick)")
+		seed      = flag.Int64("seed", 0, "harness seed (default fixed)")
+		ids       idList
+	)
+	flag.Var(&ids, "id", "experiment id to run (repeatable); default: all")
+	flag.Parse()
+
+	env := experiments.NewEnv(experiments.Config{
+		Quick:     *quick,
+		Instances: *instances,
+		Seed:      *seed,
+	})
+	run := []string(ids)
+	if len(run) == 0 {
+		run = experiments.IDs()
+	}
+	failed := 0
+	for _, id := range run {
+		start := time.Now()
+		tab, err := experiments.Run(env, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Println(tab.Render())
+		fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

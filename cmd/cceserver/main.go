@@ -1,0 +1,81 @@
+// Command cceserver runs the CCE explanation service over one of the
+// built-in dataset schemas (optionally pre-populating its context with a
+// trained model's inference log), or over the schema of a CSV file produced
+// by datagen / ReadCSV.
+//
+// Usage:
+//
+//	cceserver [-addr :8080] [-dataset loan] [-alpha 1.0] [-panel 10] [-warm]
+//
+// Endpoints: GET /schema, POST /observe, POST /explain, GET /stats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"github.com/xai-db/relativekeys/internal/dataset"
+	"github.com/xai-db/relativekeys/internal/feature"
+	"github.com/xai-db/relativekeys/internal/model"
+	"github.com/xai-db/relativekeys/internal/service"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8080", "listen address")
+		dsName = flag.String("dataset", "loan", "schema source dataset")
+		csv    = flag.String("csv", "", "load schema+context from a CSV file instead")
+		alpha  = flag.Float64("alpha", 1.0, "default conformity bound")
+		panel  = flag.Int("panel", 10, "drift-monitor panel size (0 disables)")
+		warm   = flag.Bool("warm", false, "pre-populate the context with a trained model's inference log")
+	)
+	flag.Parse()
+
+	var ds *dataset.Dataset
+	var err error
+	if *csv != "" {
+		f, ferr := os.Open(*csv)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		ds, err = dataset.ReadCSV(f)
+		f.Close()
+	} else {
+		ds, err = dataset.Load(*dsName, dataset.Options{})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := service.New(ds.Schema, *alpha, *panel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *warm {
+		m, err := model.TrainForest(ds.Schema, ds.Train(), model.ForestConfig{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := srv.Warm(model.Labels(m, instances(ds)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("context warmed with %d inference instances\n", n)
+	}
+	fmt.Printf("CCE service for %s (%d features, α=%.2f) listening on %s\n",
+		ds.Name, ds.Schema.NumFeatures(), *alpha, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+// instances extracts the test-split instances (the inference set).
+func instances(ds *dataset.Dataset) []feature.Instance {
+	test := ds.Test()
+	out := make([]feature.Instance, len(test))
+	for i, li := range test {
+		out[i] = li.X
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+// Command datagen materializes one of the synthetic benchmark datasets and
+// writes it as CSV (header row, value strings, label in the last column) so
+// the data can be inspected or consumed outside this repository.
+//
+// Usage:
+//
+//	datagen -dataset loan [-size 0] [-seed 0] [-o loan.csv]
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/xai-db/relativekeys/internal/dataset"
+	"github.com/xai-db/relativekeys/internal/em"
+)
+
+func main() {
+	var (
+		dsName = flag.String("dataset", "loan", "dataset name: "+strings.Join(append(dataset.GeneralNames(), em.Names()...), "|"))
+		size   = flag.Int("size", 0, "row-count override (0 = paper size)")
+		seed   = flag.Int64("seed", 0, "generation seed (0 = dataset default)")
+		out    = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+
+	for _, n := range em.Names() {
+		if n == *dsName {
+			writeEM(cw, *dsName, *size, *seed)
+			return
+		}
+	}
+	writeGeneral(cw, *dsName, *size, *seed)
+}
+
+func writeGeneral(cw *csv.Writer, name string, size int, seed int64) {
+	ds, err := dataset.Load(name, dataset.Options{Size: size, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	header := make([]string, 0, ds.Schema.NumFeatures()+1)
+	for _, a := range ds.Schema.Attrs {
+		header = append(header, a.Name)
+	}
+	header = append(header, "label")
+	if err := cw.Write(header); err != nil {
+		log.Fatal(err)
+	}
+	row := make([]string, len(header))
+	for _, li := range ds.Instances {
+		for i, v := range li.X {
+			row[i] = ds.Schema.Attrs[i].Values[v]
+		}
+		row[len(row)-1] = ds.Schema.Labels[li.Y]
+		if err := cw.Write(row); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d rows × %d features of %s\n", len(ds.Instances), ds.Schema.NumFeatures(), name)
+}
+
+func writeEM(cw *csv.Writer, name string, size int, seed int64) {
+	ds, err := em.Load(name, em.Options{Size: size, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	header := []string{}
+	for _, a := range ds.Attrs {
+		header = append(header, "left_"+a)
+	}
+	for _, a := range ds.Attrs {
+		header = append(header, "right_"+a)
+	}
+	for _, a := range ds.Schema.Attrs {
+		header = append(header, a.Name)
+	}
+	header = append(header, "label")
+	if err := cw.Write(header); err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range ds.Pairs {
+		row := append([]string{}, p.A.Values...)
+		row = append(row, p.B.Values...)
+		for i, v := range p.X {
+			row = append(row, ds.Schema.Attrs[i].Values[v])
+		}
+		row = append(row, ds.Schema.Labels[p.Y])
+		if err := cw.Write(row); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d pairs of %s (%d matches)\n", len(ds.Pairs), name, ds.NumMatch)
+}

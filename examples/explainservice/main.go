@@ -1,0 +1,87 @@
+// Explanation-service example (§6 of the paper): run CCE as an HTTP sidecar
+// next to a "remote" loan-assessment model, feed it the inference traffic a
+// client observes, and fetch relative-key explanations over HTTP — the model
+// itself receives no explanation queries. Run with:
+//
+//	go run ./examples/explainservice
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"github.com/xai-db/relativekeys/internal/dataset"
+	"github.com/xai-db/relativekeys/internal/model"
+	"github.com/xai-db/relativekeys/internal/service"
+)
+
+func main() {
+	ds, err := dataset.Load("loan", dataset.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The remote assessment model the bank calls during serving.
+	remote, err := model.TrainForest(ds.Schema, ds.Train(), model.ForestConfig{NumTrees: 15, MaxDepth: 6, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries := model.NewQueryCounter(remote)
+
+	// The CCE sidecar (in-process here; cmd/cceserver runs it standalone).
+	srv, err := service.New(ds.Schema, 1.0, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := service.NewClient(ts.URL)
+	fmt.Println("CCE sidecar listening at", ts.URL)
+
+	// Serving loop: the bank scores applications with the remote model and
+	// mirrors each (instance, prediction) pair to the sidecar.
+	test := ds.Test()
+	toValues := func(i int) map[string]string {
+		out := map[string]string{}
+		for a, attr := range ds.Schema.Attrs {
+			out[attr.Name] = attr.Values[test[i].X[a]]
+		}
+		return out
+	}
+	for i := range test {
+		pred := ds.Schema.Labels[queries.Predict(test[i].X)]
+		if err := client.Observe(toValues(i), pred); err != nil {
+			log.Fatal(err)
+		}
+	}
+	served := queries.Queries()
+
+	// A customer asks why their application was denied.
+	var deniedIdx = -1
+	for i := range test {
+		if remote.Predict(test[i].X) == ds.Schema.LabelCode("Denied") {
+			deniedIdx = i
+			break
+		}
+	}
+	if deniedIdx < 0 {
+		log.Fatal("no denied application in the stream")
+	}
+	resp, err := client.Explain(toValues(deniedIdx), "Denied", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("explanation:", resp.Rule)
+	fmt.Printf("holds for %d of %d observed applications with zero exceptions (precision %.3f)\n",
+		resp.Coverage, resp.Context, resp.Precision)
+
+	stats, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nservice stats: context=%d instances, monitored key size=%.1f\n",
+		stats.ContextSize, stats.AvgSuccinctness)
+	fmt.Printf("model queries during serving: %d; model queries for explaining: %d\n",
+		served, queries.Queries()-served)
+}

@@ -1,0 +1,84 @@
+// Quickstart: relative keys on the paper's running example (Fig. 2), using
+// only the public relativekeys API. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	relativekeys "github.com/xai-db/relativekeys"
+)
+
+func main() {
+	// The simplified Loan schema of the paper's Fig. 2.
+	schema, err := relativekeys.NewSchema([]relativekeys.Attribute{
+		{Name: "Gender", Values: []string{"Male", "Female"}},
+		{Name: "Income", Values: []string{"1-2K", "3-4K", "5-6K"}},
+		{Name: "Credit", Values: []string{"poor", "good"}},
+		{Name: "Dependent", Values: []string{"0", "1", "2"}},
+	}, []string{"Denied", "Approved"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The inference context I₀: instances and the predictions the client
+	// observed during model serving (no model access needed).
+	mk := func(g, inc, cr, dep, pred int32) relativekeys.Labeled {
+		return relativekeys.Labeled{X: relativekeys.Instance{g, inc, cr, dep}, Y: pred}
+	}
+	context := []relativekeys.Labeled{
+		mk(0, 1, 0, 1, 0), // x0: Male, 3-4K, poor, 1 → Denied
+		mk(0, 2, 0, 1, 1), // x1: Male, 5-6K, poor, 1 → Approved
+		mk(1, 1, 0, 2, 0), // x2: Female, 3-4K, poor, 2 → Denied
+		mk(0, 1, 0, 1, 0), // x3
+		mk(0, 0, 0, 1, 0), // x4
+		mk(0, 1, 1, 0, 1), // x5
+		mk(0, 1, 1, 1, 1), // x6
+	}
+
+	cce, err := relativekeys.NewBatch(schema, context, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x0, y0 := context[0].X, context[0].Y
+
+	// Example 3: the key for x0 relative to I₀ is {Income, Credit}.
+	key, err := cce.Explain(x0, y0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("relative key (α=1):  ", key.Render(schema))
+	fmt.Println("as a rule:           ", key.RenderRule(schema, x0, y0))
+	fmt.Printf("precision:            %.3f\n", relativekeys.Precision(cce.Ctx, x0, y0, key))
+
+	// Example 4: trading conformity for succinctness with α = 6/7.
+	relaxed, err := relativekeys.SRK(cce.Ctx, x0, y0, 6.0/7.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("6/7-conformant key:  ", relaxed.Render(schema))
+	fmt.Printf("its precision:        %.3f\n", relativekeys.Precision(cce.Ctx, x0, y0, relaxed))
+
+	// Online monitoring (Example 7): the key grows coherently as new
+	// inference instances stream in.
+	online, err := relativekeys.NewOnline(schema, x0, y0, 1.0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream := append(append([]relativekeys.Labeled{}, context...),
+		mk(1, 1, 0, 2, 0), // x7
+		mk(0, 1, 1, 1, 1), // x8
+		mk(0, 1, 0, 0, 1), // x9: invalidates the old key, forcing growth
+	)
+	for i, li := range stream {
+		k, err := online.Observe(li)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i >= len(context) {
+			fmt.Printf("after x%d arrives:     %s\n", i, k.Render(schema))
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/xai-db/relativekeys
+
+go 1.22

@@ -1,0 +1,152 @@
+// Package bitset provides a dense fixed-capacity bit set used as the
+// posting-list representation for relative-key computation. All hot loops in
+// SRK operate on AndCard/AndNotCard, so those are written over raw words.
+package bitset
+
+import "math/bits"
+
+// Set is a dense bit set over [0, n). The zero value is an empty set of
+// capacity 0; use New for a set of a given capacity.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set with capacity for n bits.
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity of the set in bits.
+func (s *Set) Len() int { return s.n }
+
+// Add sets bit i. It panics if i is out of range, mirroring slice indexing.
+func (s *Set) Add(i int) {
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Remove clears bit i.
+func (s *Set) Remove(i int) {
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Contains reports whether bit i is set.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Grow extends the capacity to at least n bits, preserving contents.
+func (s *Set) Grow(n int) {
+	if n <= s.n {
+		return
+	}
+	need := (n + 63) / 64
+	if need > len(s.words) {
+		w := make([]uint64, need)
+		copy(w, s.words)
+		s.words = w
+	}
+	s.n = n
+}
+
+// Clone returns a deep copy of s.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w, n: s.n}
+}
+
+// Clear removes all elements, keeping capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// And replaces s with s ∩ t. The sets must have the same capacity.
+func (s *Set) And(t *Set) {
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+	}
+}
+
+// AndNot replaces s with s \ t.
+func (s *Set) AndNot(t *Set) {
+	for i := range s.words {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// Or replaces s with s ∪ t.
+func (s *Set) Or(t *Set) {
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// AndCard returns |s ∩ t| without modifying either set.
+func (s *Set) AndCard(t *Set) int {
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & t.words[i])
+	}
+	return c
+}
+
+// AndNotCard returns |s \ t| without modifying either set.
+func (s *Set) AndNotCard(t *Set) int {
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w &^ t.words[i])
+	}
+	return c
+}
+
+// ForEach calls fn for every set bit in ascending order. Iteration stops if
+// fn returns false.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi<<6 + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns the set members in ascending order.
+func (s *Set) Slice() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool { out = append(out, i); return true })
+	return out
+}
+
+// Equal reports whether s and t contain exactly the same members.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != t.words[i] {
+			return false
+		}
+	}
+	return true
+}

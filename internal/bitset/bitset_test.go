@@ -1,0 +1,185 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddContainsRemove(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Contains(i) {
+			t.Fatalf("fresh set contains %d", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("Add(%d) not visible", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Remove(64) not visible")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count after remove = %d, want 7", got)
+	}
+}
+
+func TestContainsOutOfRange(t *testing.T) {
+	s := New(10)
+	if s.Contains(-1) || s.Contains(10) || s.Contains(1000) {
+		t.Fatal("Contains must be false out of range")
+	}
+}
+
+func TestGrowPreserves(t *testing.T) {
+	s := New(5)
+	s.Add(3)
+	s.Grow(200)
+	if !s.Contains(3) || s.Len() != 200 {
+		t.Fatalf("grow lost contents: contains=%v len=%d", s.Contains(3), s.Len())
+	}
+	s.Add(199)
+	if !s.Contains(199) {
+		t.Fatal("cannot add after grow")
+	}
+	s.Grow(10) // shrink request is a no-op
+	if s.Len() != 200 {
+		t.Fatal("Grow must never shrink")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a, b := New(100), New(100)
+	for i := 0; i < 100; i += 2 {
+		a.Add(i)
+	}
+	for i := 0; i < 100; i += 3 {
+		b.Add(i)
+	}
+	// |a ∩ b| = multiples of 6 in [0,100) = 17
+	if got := a.AndCard(b); got != 17 {
+		t.Fatalf("AndCard = %d, want 17", got)
+	}
+	if got := a.AndNotCard(b); got != 50-17 {
+		t.Fatalf("AndNotCard = %d, want 33", got)
+	}
+	c := a.Clone()
+	c.And(b)
+	if c.Count() != 17 {
+		t.Fatalf("And count = %d, want 17", c.Count())
+	}
+	d := a.Clone()
+	d.AndNot(b)
+	if d.Count() != 33 {
+		t.Fatalf("AndNot count = %d, want 33", d.Count())
+	}
+	e := a.Clone()
+	e.Or(b)
+	if e.Count() != 50+34-17 {
+		t.Fatalf("Or count = %d, want 67", e.Count())
+	}
+}
+
+func TestForEachOrderAndStop(t *testing.T) {
+	s := New(300)
+	want := []int{2, 64, 65, 190, 299}
+	for _, i := range want {
+		s.Add(i)
+	}
+	got := s.Slice()
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+	var seen int
+	s.ForEach(func(i int) bool { seen++; return seen < 2 })
+	if seen != 2 {
+		t.Fatalf("ForEach early stop visited %d, want 2", seen)
+	}
+}
+
+func TestClearAndEqual(t *testing.T) {
+	a := New(70)
+	a.Add(3)
+	a.Add(69)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.Clear()
+	if b.Count() != 0 || a.Equal(b) {
+		t.Fatal("Clear failed")
+	}
+	if a.Equal(New(71)) {
+		t.Fatal("different capacity must not be equal")
+	}
+}
+
+// Property: set operations agree with map-based reference implementation.
+func TestQuickOpsAgainstReference(t *testing.T) {
+	f := func(adds, dels []uint16) bool {
+		const n = 1 << 16
+		s := New(n)
+		ref := map[int]bool{}
+		for _, a := range adds {
+			s.Add(int(a))
+			ref[int(a)] = true
+		}
+		for _, d := range dels {
+			s.Remove(int(d))
+			delete(ref, int(d))
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for k := range ref {
+			if !s.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCardinalities(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(500)
+		a, b := New(n), New(n)
+		ra, rb := map[int]bool{}, map[int]bool{}
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Add(i)
+				ra[i] = true
+			}
+			if rng.Intn(3) == 0 {
+				b.Add(i)
+				rb[i] = true
+			}
+		}
+		wantAnd, wantDiff := 0, 0
+		for k := range ra {
+			if rb[k] {
+				wantAnd++
+			} else {
+				wantDiff++
+			}
+		}
+		if a.AndCard(b) != wantAnd || a.AndNotCard(b) != wantDiff {
+			t.Fatalf("trial %d: AndCard=%d want %d, AndNotCard=%d want %d",
+				trial, a.AndCard(b), wantAnd, a.AndNotCard(b), wantDiff)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package cce implements the client-centric explanation framework of §6: the
+// batch mode (SRK over a complete inference context), the online mode (OSRK
+// over a stream), the static-feature mode (SSRK over a known universe), the
+// sliding-window mechanism with resolution policies for dynamic models
+// (Appendix B, Exp-4), and the drift monitor of §7.4. CCE never queries the
+// model: it consumes only (instance, prediction) pairs observed at the
+// client during model serving.
+package cce
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fmt"
+
+	"github.com/xai-db/relativekeys/internal/core"
+	"github.com/xai-db/relativekeys/internal/explain"
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+// Batch is CCE's batch mode: the complete inference context is available.
+type Batch struct {
+	Ctx   *core.Context
+	Alpha float64
+}
+
+// NewBatch indexes the inference set as the explanation context.
+func NewBatch(schema *feature.Schema, inference []feature.Labeled, alpha float64) (*Batch, error) {
+	if err := core.ValidateAlpha(alpha); err != nil {
+		return nil, err
+	}
+	ctx, err := core.NewContext(schema, inference)
+	if err != nil {
+		return nil, err
+	}
+	return &Batch{Ctx: ctx, Alpha: alpha}, nil
+}
+
+// Explain computes the α-conformant relative key for an instance whose
+// prediction is known client-side.
+func (b *Batch) Explain(x feature.Instance, y feature.Label) (core.Key, error) {
+	return core.SRK(b.Ctx, x, y, b.Alpha)
+}
+
+// ExplainAll explains many instances concurrently across workers goroutines
+// (0 means GOMAXPROCS). The context is read-only during batch explanation, so
+// SRK runs are embarrassingly parallel. Instances whose conflicts exceed the
+// α budget get a nil key rather than failing the batch; other errors abort.
+func (b *Batch) ExplainAll(items []feature.Labeled, workers int) ([]core.Key, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	keys := make([]core.Key, len(items))
+	errs := make([]error, len(items))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				key, err := b.Explain(items[i].X, items[i].Y)
+				if err == core.ErrNoKey {
+					continue // keys[i] stays nil
+				}
+				keys[i], errs[i] = key, err
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return keys, nil
+}
+
+// ExplainRow explains the i-th context instance.
+func (b *Batch) ExplainRow(i int) (core.Key, error) {
+	if i < 0 || i >= b.Ctx.Len() {
+		return nil, fmt.Errorf("cce: row %d out of range [0,%d)", i, b.Ctx.Len())
+	}
+	li := b.Ctx.Item(i)
+	return b.Explain(li.X, li.Y)
+}
+
+// batchExplainer adapts Batch to the explain.Explainer interface using a
+// prediction lookup (predictions are known during serving; CCE never calls
+// the model).
+type batchExplainer struct {
+	b      *Batch
+	lookup func(feature.Instance) (feature.Label, error)
+}
+
+// Explainer wraps the batch mode as an explain.Explainer. lookup supplies
+// the already-observed prediction of an instance (e.g. from the inference
+// log); it is not a model query.
+func (b *Batch) Explainer(lookup func(feature.Instance) (feature.Label, error)) explain.Explainer {
+	return &batchExplainer{b: b, lookup: lookup}
+}
+
+func (e *batchExplainer) Name() string { return "CCE" }
+
+func (e *batchExplainer) Explain(x feature.Instance) (explain.Explanation, error) {
+	y, err := e.lookup(x)
+	if err != nil {
+		return explain.Explanation{}, err
+	}
+	key, err := e.b.Explain(x, y)
+	if err != nil {
+		return explain.Explanation{}, err
+	}
+	return explain.Explanation{Features: key}, nil
+}
+
+// ContextLookup returns a lookup that resolves predictions from the batch
+// context itself (the common case: explained instances are inference
+// instances).
+func (b *Batch) ContextLookup() func(feature.Instance) (feature.Label, error) {
+	return func(x feature.Instance) (feature.Label, error) {
+		for i := 0; i < b.Ctx.Len(); i++ {
+			if b.Ctx.Item(i).X.Equal(x) {
+				return b.Ctx.Item(i).Y, nil
+			}
+		}
+		return 0, fmt.Errorf("cce: instance not found in the inference context")
+	}
+}
+
+// Online is CCE's online mode: monitor the relative key of one target
+// instance as inference instances stream in (algorithm OSRK).
+type Online = core.OSRK
+
+// NewOnline starts online monitoring of x0 (predicted y0) at bound α.
+func NewOnline(schema *feature.Schema, x0 feature.Instance, y0 feature.Label, alpha float64, seed int64) (*Online, error) {
+	return core.NewOSRK(schema, x0, y0, alpha, seed)
+}
+
+// Static is CCE's static-feature mode (algorithm SSRK): the universe of
+// instances and predictions is known offline, only the arrival order is
+// online.
+type Static = core.SSRK
+
+// NewStatic starts deterministic monitoring over a known universe.
+func NewStatic(schema *feature.Schema, universe []feature.Labeled, x0 feature.Instance, y0 feature.Label, alpha float64) (*Static, error) {
+	return core.NewSSRK(schema, universe, x0, y0, alpha)
+}

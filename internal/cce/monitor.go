@@ -1,0 +1,99 @@
+package cce
+
+import (
+	"fmt"
+
+	"github.com/xai-db/relativekeys/internal/core"
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+// DriftMonitor implements the §7.4 application: monitor the relative keys of
+// a panel of target instances with OSRK while inference instances stream in.
+// A dip in black-box model accuracy (noise, concept drift) manifests as an
+// abnormal rise of the average monitored succinctness — without access to
+// ground-truth labels or the model.
+type DriftMonitor struct {
+	schema  *feature.Schema
+	alpha   float64
+	panelSz int
+	seed    int64
+
+	monitors []*core.OSRK
+	history  []float64 // average succinctness after each arrival
+	arrivals int
+}
+
+// NewDriftMonitor monitors the keys of the first panelSize distinct-enough
+// arrivals (the monitored panel) as the stream proceeds.
+func NewDriftMonitor(schema *feature.Schema, alpha float64, panelSize int, seed int64) (*DriftMonitor, error) {
+	if err := core.ValidateAlpha(alpha); err != nil {
+		return nil, err
+	}
+	if panelSize <= 0 {
+		return nil, fmt.Errorf("cce: panel size %d must be positive", panelSize)
+	}
+	return &DriftMonitor{schema: schema, alpha: alpha, panelSz: panelSize, seed: seed}, nil
+}
+
+// Observe feeds one arrival to every panel monitor (enrolling it as a new
+// target first while the panel is filling).
+func (d *DriftMonitor) Observe(li feature.Labeled) error {
+	if err := d.schema.Validate(li.X); err != nil {
+		return err
+	}
+	if len(d.monitors) < d.panelSz {
+		m, err := core.NewOSRK(d.schema, li.X, li.Y, d.alpha, d.seed+int64(len(d.monitors)))
+		if err != nil {
+			return err
+		}
+		d.monitors = append(d.monitors, m)
+	}
+	for _, m := range d.monitors {
+		if _, err := m.Observe(li); err != nil {
+			return err
+		}
+	}
+	d.arrivals++
+	d.history = append(d.history, d.AvgSuccinctness())
+	return nil
+}
+
+// AvgSuccinctness returns the mean key size over the panel.
+func (d *DriftMonitor) AvgSuccinctness() float64 {
+	if len(d.monitors) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, m := range d.monitors {
+		sum += m.Key().Succinctness()
+	}
+	return float64(sum) / float64(len(d.monitors))
+}
+
+// History returns the succinctness trajectory (one point per arrival).
+func (d *DriftMonitor) History() []float64 {
+	return append([]float64(nil), d.history...)
+}
+
+// Arrivals returns the number of observed instances.
+func (d *DriftMonitor) Arrivals() int { return d.arrivals }
+
+// CurveAt samples the history at the given fractions (e.g. 0.1, 0.2, … 1.0),
+// producing the series of Fig. 3l.
+func (d *DriftMonitor) CurveAt(fracs []float64) ([]float64, error) {
+	if len(d.history) == 0 {
+		return nil, fmt.Errorf("cce: no arrivals observed yet")
+	}
+	out := make([]float64, len(fracs))
+	for i, f := range fracs {
+		if f <= 0 || f > 1 {
+			return nil, fmt.Errorf("cce: fraction %v outside (0,1]", f)
+		}
+		idx := int(f*float64(len(d.history))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out[i] = d.history[idx]
+	}
+	return out, nil
+}

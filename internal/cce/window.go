@@ -1,0 +1,177 @@
+package cce
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/xai-db/relativekeys/internal/core"
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+// Policy resolves conflicting keys when an instance appears in multiple
+// overlapping sliding-window contexts (Appendix B, Exp-4).
+type Policy int
+
+const (
+	// LastWins keeps the key relative to the latest context containing the
+	// instance (CCE's default).
+	LastWins Policy = iota
+	// FirstWins never updates a key once computed.
+	FirstWins
+	// UnionKey unions the keys from every context containing the instance.
+	UnionKey
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case LastWins:
+		return "last-wins"
+	case FirstWins:
+		return "first-wins"
+	case UnionKey:
+		return "union-key"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Window maintains a sliding context of the most recent instances for
+// explaining under dynamic models whose change points are unknown: each step
+// of ΔI new instances drops the ΔI oldest ones.
+type Window struct {
+	schema   *feature.Schema
+	capacity int
+	step     int
+	alpha    float64
+	policy   Policy
+
+	buf     []feature.Labeled // pending arrivals of the current step
+	window  []feature.Labeled // current window contents (≤ capacity)
+	ctx     *core.Context     // rebuilt per step
+	version int
+
+	// cache holds per-instance resolved keys across overlapping contexts.
+	cache map[string]core.Key
+}
+
+// NewWindow builds a sliding-window explainer. capacity is |I|; step is ΔI.
+func NewWindow(schema *feature.Schema, capacity, step int, alpha float64, policy Policy) (*Window, error) {
+	if err := core.ValidateAlpha(alpha); err != nil {
+		return nil, err
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cce: window capacity %d must be positive", capacity)
+	}
+	if step <= 0 || step > capacity {
+		return nil, fmt.Errorf("cce: window step %d must be in [1,%d]", step, capacity)
+	}
+	ctx, err := core.NewContext(schema, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Window{
+		schema:   schema,
+		capacity: capacity,
+		step:     step,
+		alpha:    alpha,
+		policy:   policy,
+		ctx:      ctx,
+		cache:    map[string]core.Key{},
+	}, nil
+}
+
+// Observe appends one arrival; the window advances every ΔI arrivals.
+func (w *Window) Observe(li feature.Labeled) error {
+	if err := w.schema.Validate(li.X); err != nil {
+		return err
+	}
+	w.buf = append(w.buf, li)
+	if len(w.buf) >= w.step {
+		return w.advance()
+	}
+	return nil
+}
+
+// advance shifts the window by one step and rebuilds the context.
+func (w *Window) advance() error {
+	w.window = append(w.window, w.buf...)
+	w.buf = w.buf[:0]
+	if over := len(w.window) - w.capacity; over > 0 {
+		w.window = w.window[over:]
+	}
+	ctx, err := core.NewContext(w.schema, w.window)
+	if err != nil {
+		return err
+	}
+	w.ctx = ctx
+	w.version++
+	return nil
+}
+
+// Reset clears the window, pending buffer and key cache. Appendix B: when
+// the client is told exactly when the model changes, CCE "cleans its context
+// and switches to inference instances and predictions collected from the
+// updated model" — this is that switch.
+func (w *Window) Reset() error {
+	ctx, err := core.NewContext(w.schema, nil)
+	if err != nil {
+		return err
+	}
+	w.buf = w.buf[:0]
+	w.window = w.window[:0]
+	w.ctx = ctx
+	w.cache = map[string]core.Key{}
+	w.version++
+	return nil
+}
+
+// Version counts window advances so far.
+func (w *Window) Version() int { return w.version }
+
+// Size returns the current window occupancy.
+func (w *Window) Size() int { return len(w.window) }
+
+// Context exposes the current window context.
+func (w *Window) Context() *core.Context { return w.ctx }
+
+// Explain computes the key for x (predicted y) relative to the current
+// window and resolves it against earlier keys per the policy.
+func (w *Window) Explain(x feature.Instance, y feature.Label) (core.Key, error) {
+	id := instanceID(x, y)
+	fresh, err := core.SRK(w.ctx, x, y, w.alpha)
+	if err != nil {
+		return nil, err
+	}
+	prev, seen := w.cache[id]
+	var resolved core.Key
+	switch w.policy {
+	case FirstWins:
+		if seen {
+			resolved = prev
+		} else {
+			resolved = fresh
+		}
+	case LastWins:
+		resolved = fresh
+	case UnionKey:
+		if seen {
+			merged := append(append(core.Key{}, prev...), fresh...)
+			resolved = core.NewKey(merged...)
+		} else {
+			resolved = fresh
+		}
+	default:
+		return nil, fmt.Errorf("cce: unknown policy %v", w.policy)
+	}
+	w.cache[id] = resolved
+	return resolved.Clone(), nil
+}
+
+func instanceID(x feature.Instance, y feature.Label) string {
+	var b strings.Builder
+	for _, v := range x {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	fmt.Fprintf(&b, "|%d", y)
+	return b.String()
+}

@@ -1,0 +1,138 @@
+// Package core implements relative keys, the paper's central contribution
+// (§§3–5): the Context abstraction, the greedy batch algorithm SRK
+// (Algorithm 1), the randomized online algorithm OSRK (Algorithm 2), the
+// deterministic static-feature algorithm SSRK (Algorithm 3), an exact
+// branch-and-bound solver used to validate approximation bounds, and the
+// set-cover reduction behind Theorem 1.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/xai-db/relativekeys/internal/bitset"
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+// Context is a collection I of instances and their model predictions, indexed
+// with per-(attribute,value) posting lists so that the intersection counts in
+// SRK's greedy step cost O(|I|/64) words each.
+type Context struct {
+	Schema *feature.Schema
+
+	items []feature.Labeled
+	// post[attr][value] holds the rows where x[attr] == value.
+	post [][]*bitset.Set
+	// byLabel[y] holds the rows predicted y.
+	byLabel []*bitset.Set
+	cap     int // current bitset capacity
+}
+
+// NewContext builds an indexed context. Instances are validated against the
+// schema; predictions must be inside the label space.
+func NewContext(schema *feature.Schema, items []feature.Labeled) (*Context, error) {
+	c := &Context{Schema: schema}
+	c.initIndex(len(items))
+	for _, li := range items {
+		if err := c.Add(li); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *Context) initIndex(capacity int) {
+	if capacity < 16 {
+		capacity = 16
+	}
+	c.cap = capacity
+	c.post = make([][]*bitset.Set, c.Schema.NumFeatures())
+	for a := range c.post {
+		c.post[a] = make([]*bitset.Set, c.Schema.Attrs[a].Cardinality())
+		for v := range c.post[a] {
+			c.post[a][v] = bitset.New(capacity)
+		}
+	}
+	c.byLabel = make([]*bitset.Set, len(c.Schema.Labels))
+	for y := range c.byLabel {
+		c.byLabel[y] = bitset.New(capacity)
+	}
+}
+
+// Add appends one labeled instance to the context (the online growth path).
+func (c *Context) Add(li feature.Labeled) error {
+	if err := c.Schema.Validate(li.X); err != nil {
+		return err
+	}
+	if li.Y < 0 || int(li.Y) >= len(c.Schema.Labels) {
+		return fmt.Errorf("core: prediction %d outside label space of size %d", li.Y, len(c.Schema.Labels))
+	}
+	i := len(c.items)
+	if i >= c.cap {
+		c.grow(2*c.cap + 1)
+	}
+	c.items = append(c.items, li)
+	for a, v := range li.X {
+		c.post[a][v].Add(i)
+	}
+	c.byLabel[li.Y].Add(i)
+	return nil
+}
+
+func (c *Context) grow(n int) {
+	c.cap = n
+	for a := range c.post {
+		for v := range c.post[a] {
+			c.post[a][v].Grow(n)
+		}
+	}
+	for y := range c.byLabel {
+		c.byLabel[y].Grow(n)
+	}
+}
+
+// Len returns |I|.
+func (c *Context) Len() int { return len(c.items) }
+
+// Item returns the i-th labeled instance.
+func (c *Context) Item(i int) feature.Labeled { return c.items[i] }
+
+// Items returns the backing slice; callers must not mutate it.
+func (c *Context) Items() []feature.Labeled { return c.items }
+
+// Posting returns the posting list for attr==value; callers must not mutate
+// it. Capacity may exceed Len.
+func (c *Context) Posting(attr int, v feature.Value) *bitset.Set { return c.post[attr][v] }
+
+// LabelSet returns the posting list of rows predicted y.
+func (c *Context) LabelSet(y feature.Label) *bitset.Set { return c.byLabel[y] }
+
+// Disagreeing returns a fresh bitset of rows whose prediction differs from y.
+func (c *Context) Disagreeing(y feature.Label) *bitset.Set {
+	d := bitset.New(c.cap)
+	for i, li := range c.items {
+		if li.Y != y {
+			d.Add(i)
+		}
+	}
+	return d
+}
+
+// ErrNoKey is returned when no feature subset can reach the requested
+// conformity — i.e. the context contains an instance identical to x on every
+// feature but with a different prediction, beyond the α budget.
+var ErrNoKey = errors.New("core: no α-conformant relative key exists for this context")
+
+// ValidateAlpha rejects conformity bounds outside (0, 1].
+func ValidateAlpha(alpha float64) error {
+	if !(alpha > 0 && alpha <= 1) {
+		return fmt.Errorf("core: conformity bound α=%v outside (0,1]", alpha)
+	}
+	return nil
+}
+
+// Budget returns the number of violating instances tolerated by α over a
+// context of size n: ⌊(1−α)·n⌋ with a tolerance for float rounding.
+func Budget(alpha float64, n int) int {
+	return int((1-alpha)*float64(n) + 1e-9)
+}

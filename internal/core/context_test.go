@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+func TestNewContextValidation(t *testing.T) {
+	s := loanSchema(t)
+	bad := []feature.Labeled{{X: feature.Instance{0, 0}, Y: 0}}
+	if _, err := NewContext(s, bad); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	bad = []feature.Labeled{{X: feature.Instance{0, 0, 0, 0}, Y: 7}}
+	if _, err := NewContext(s, bad); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	c, err := NewContext(s, nil)
+	if err != nil || c.Len() != 0 {
+		t.Fatalf("empty context: %v", err)
+	}
+}
+
+func TestContextIndexConsistency(t *testing.T) {
+	c, _, _ := loanContext(t)
+	if c.Len() != 7 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// Posting lists partition rows per attribute.
+	for a := range c.Schema.Attrs {
+		total := 0
+		for v := 0; v < c.Schema.Attrs[a].Cardinality(); v++ {
+			set := c.Posting(a, feature.Value(v))
+			total += set.Count()
+			set.ForEach(func(i int) bool {
+				if c.Item(i).X[a] != feature.Value(v) {
+					t.Fatalf("posting[%d][%d] contains row %d with value %d", a, v, i, c.Item(i).X[a])
+				}
+				return true
+			})
+		}
+		if total != 7 {
+			t.Fatalf("attr %d postings cover %d rows, want 7", a, total)
+		}
+	}
+	// Label sets partition rows.
+	if c.LabelSet(0).Count()+c.LabelSet(1).Count() != 7 {
+		t.Fatal("label sets do not partition")
+	}
+	if d := c.Disagreeing(0); d.Count() != 3 {
+		t.Fatalf("Disagreeing(Denied) = %d, want 3", d.Count())
+	}
+}
+
+func TestContextGrowth(t *testing.T) {
+	s := loanSchema(t)
+	c, err := NewContext(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		x := feature.Instance{
+			feature.Value(rng.Intn(2)),
+			feature.Value(rng.Intn(3)),
+			feature.Value(rng.Intn(2)),
+			feature.Value(rng.Intn(3)),
+		}
+		if err := c.Add(feature.Labeled{X: x, Y: feature.Label(rng.Intn(2))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 500 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// Spot-check index after growth.
+	count := 0
+	for i := 0; i < 500; i++ {
+		if c.Item(i).X[attrCredit] == 0 {
+			count++
+		}
+	}
+	if got := c.Posting(attrCredit, 0).Count(); got != count {
+		t.Fatalf("posting count %d, want %d", got, count)
+	}
+}
+
+func TestBudget(t *testing.T) {
+	cases := []struct {
+		alpha float64
+		n     int
+		want  int
+	}{
+		{1.0, 100, 0},
+		{0.9, 100, 10},
+		{0.95, 100, 5},
+		{6.0 / 7.0, 7, 1},
+		{0.5, 3, 1},
+		{1.0, 0, 0},
+	}
+	for _, cse := range cases {
+		if got := Budget(cse.alpha, cse.n); got != cse.want {
+			t.Errorf("Budget(%v,%d) = %d, want %d", cse.alpha, cse.n, got, cse.want)
+		}
+	}
+}
+
+func TestValidateAlpha(t *testing.T) {
+	for _, a := range []float64{0, -0.1, 1.1, 2} {
+		if err := ValidateAlpha(a); err == nil {
+			t.Errorf("α=%v accepted", a)
+		}
+	}
+	for _, a := range []float64{0.01, 0.5, 1} {
+		if err := ValidateAlpha(a); err != nil {
+			t.Errorf("α=%v rejected: %v", a, err)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+func TestKeyBasics(t *testing.T) {
+	k := NewKey(3, 1, 3, 2)
+	if len(k) != 3 || k[0] != 1 || k[2] != 3 {
+		t.Fatalf("NewKey dedup/sort wrong: %v", k)
+	}
+	if k.Succinctness() != 3 {
+		t.Fatal("Succinctness wrong")
+	}
+	if !k.Contains(2) || k.Contains(0) {
+		t.Fatal("Contains wrong")
+	}
+	k2 := k.With(0)
+	if !k2.Equal(NewKey(0, 1, 2, 3)) || !k.Equal(NewKey(1, 2, 3)) {
+		t.Fatal("With must not mutate the receiver")
+	}
+	if !k.With(1).Equal(k) {
+		t.Fatal("With existing feature must be a no-op")
+	}
+	if !NewKey(1).IsSubset(k) || k.IsSubset(NewKey(1)) {
+		t.Fatal("IsSubset wrong")
+	}
+	cl := k.Clone()
+	cl[0] = 99
+	if k[0] == 99 {
+		t.Fatal("Clone aliases")
+	}
+}
+
+func TestKeyRender(t *testing.T) {
+	c, x0, y0 := loanContext(t)
+	k := NewKey(attrIncome, attrCredit)
+	if got := k.Render(c.Schema); got != "{Income, Credit}" {
+		t.Fatalf("Render = %q", got)
+	}
+	rule := k.RenderRule(c.Schema, x0, y0)
+	want := "IF Income=3-4K ∧ Credit=poor THEN Denied"
+	if rule != want {
+		t.Fatalf("RenderRule = %q, want %q", rule, want)
+	}
+}
+
+// randomContext builds a random context for differential tests.
+func randomContext(t testing.TB, rng *rand.Rand, nRows, nAttrs, card, nLabels int) *Context {
+	t.Helper()
+	attrs := make([]feature.Attribute, nAttrs)
+	for i := range attrs {
+		vals := make([]string, card)
+		for v := range vals {
+			vals[v] = string(rune('a' + v))
+		}
+		attrs[i] = feature.Attribute{Name: string(rune('A' + i)), Values: vals}
+	}
+	labels := make([]string, nLabels)
+	for i := range labels {
+		labels[i] = string(rune('x' + i))
+	}
+	s := feature.MustSchema(attrs, labels)
+	items := make([]feature.Labeled, nRows)
+	for i := range items {
+		x := make(feature.Instance, nAttrs)
+		for j := range x {
+			x[j] = feature.Value(rng.Intn(card))
+		}
+		items[i] = feature.Labeled{X: x, Y: feature.Label(rng.Intn(nLabels))}
+	}
+	c, err := NewContext(s, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// Property: the bitset Violations equals the brute-force count for random
+// contexts, instances and keys.
+func TestViolationsMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		c := randomContext(t, rng, 1+rng.Intn(200), 2+rng.Intn(6), 2+rng.Intn(3), 2)
+		x := c.Item(rng.Intn(c.Len())).X
+		y := feature.Label(rng.Intn(2))
+		var feats []int
+		for a := 0; a < c.Schema.NumFeatures(); a++ {
+			if rng.Intn(2) == 0 {
+				feats = append(feats, a)
+			}
+		}
+		E := NewKey(feats...)
+		if got, want := Violations(c, x, y, E), ViolationsBrute(c, x, y, E); got != want {
+			t.Fatalf("trial %d: Violations=%d brute=%d (E=%v)", trial, got, want, E)
+		}
+	}
+}
+
+func TestCoverageAndPrecision(t *testing.T) {
+	c, x0, y0 := loanContext(t)
+	key := NewKey(attrIncome, attrCredit)
+	// Rows agreeing on Income=3-4K ∧ Credit=poor with label Denied: x0,x2,x3.
+	if got := Coverage(c, x0, y0, key); got != 3 {
+		t.Fatalf("Coverage = %d, want 3", got)
+	}
+	rows := CoveredSet(c, x0, y0, key)
+	if len(rows) != 3 || rows[0] != 0 || rows[1] != 2 || rows[2] != 3 {
+		t.Fatalf("CoveredSet = %v", rows)
+	}
+	if got := Precision(c, x0, y0, key); got != 1 {
+		t.Fatalf("Precision = %v, want 1", got)
+	}
+	if got := Precision(c, x0, y0, NewKey(attrCredit)); math.Abs(got-6.0/7.0) > 1e-12 {
+		t.Fatalf("Precision({Credit}) = %v, want 6/7", got)
+	}
+	empty, err := NewContext(c.Schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Precision(empty, x0, y0, key) != 1 || Coverage(empty, x0, y0, key) != 0 || Violations(empty, x0, y0, key) != 0 {
+		t.Fatal("empty-context metrics wrong")
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	c, x0, y0 := loanContext(t)
+	full := NewKey(0, 1, 2, 3)
+	min := Minimize(c, x0, y0, full, 1.0)
+	if !IsAlphaKey(c, x0, y0, min, 1.0) {
+		t.Fatal("minimized key not conformant")
+	}
+	if !IsMinimal(c, x0, y0, min, 1.0) {
+		t.Fatal("Minimize result not minimal")
+	}
+	if len(min) >= len(full) {
+		t.Fatalf("Minimize did not shrink: %v", min)
+	}
+}
+
+func TestIsMinimalRejectsNonKeys(t *testing.T) {
+	c, x0, y0 := loanContext(t)
+	if IsMinimal(c, x0, y0, NewKey(attrGender), 1.0) {
+		t.Fatal("non-conformant key reported minimal")
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+// OSRK implements Algorithm 2: randomized online monitoring of an
+// α-conformant key for a fixed instance x₀ as context instances arrive one by
+// one. Keys are coherent (E_t ⊆ E_{t+1}) and, for α=1, (log t · log n)-bounded
+// in expectation (Theorem 5). Per-arrival work is O(n log n), independent of
+// the context size, except for the coherent shrink of the maintained violator
+// list, which is amortized O(1) per instance.
+type OSRK struct {
+	c     *Context
+	x0    feature.Instance
+	y0    feature.Label
+	alpha float64
+
+	weights []float64
+	inE     []bool
+	key     Key
+
+	// violators holds indices of context rows that agree with x₀ on E and
+	// predict differently; maintained incrementally.
+	violators []int
+	// p counts online instances whose prediction differs from x₀'s (the p_t
+	// of Algorithm 2).
+	p int
+	// conflicts counts arrivals identical to x₀ on every feature but with a
+	// different prediction: no key can exclude them.
+	conflicts int
+
+	seeded bool // whether the initial random draw (lines 4-6) has happened
+	rng    *rand.Rand
+}
+
+// NewOSRK prepares monitoring of x₀ with prediction y₀ under conformity bound
+// α. The context starts empty; feed instances with Observe.
+func NewOSRK(schema *feature.Schema, x0 feature.Instance, y0 feature.Label, alpha float64, seed int64) (*OSRK, error) {
+	if err := ValidateAlpha(alpha); err != nil {
+		return nil, err
+	}
+	if err := schema.Validate(x0); err != nil {
+		return nil, err
+	}
+	c, err := NewContext(schema, nil)
+	if err != nil {
+		return nil, err
+	}
+	n := schema.NumFeatures()
+	// w_i = 2^{-k} for the max integer k with 2^{-k} < 1/n.
+	w := initialWeight(n)
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = w
+	}
+	return &OSRK{
+		c:       c,
+		x0:      x0.Clone(),
+		y0:      y0,
+		alpha:   alpha,
+		weights: weights,
+		inE:     make([]bool, n),
+		key:     Key{},
+		rng:     rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// initialWeight returns 2^{-k} for the maximum integer k with 2^{-k} < 1/n.
+func initialWeight(n int) float64 {
+	if n <= 1 {
+		return 0.5
+	}
+	k := int(math.Ceil(math.Log2(float64(n))))
+	for math.Exp2(-float64(k)) >= 1/float64(n) {
+		k++
+	}
+	return math.Exp2(-float64(k))
+}
+
+// Key returns the current key E_t (a copy).
+func (o *OSRK) Key() Key { return o.key.Clone() }
+
+// Context returns the context accumulated so far.
+func (o *OSRK) Context() *Context { return o.c }
+
+// Conflicts returns the number of arrivals that no key can exclude (identical
+// to x₀ with a different prediction).
+func (o *OSRK) Conflicts() int { return o.conflicts }
+
+// Observe processes the arrival of x_t with prediction y_t and returns the
+// updated key.
+func (o *OSRK) Observe(li feature.Labeled) (Key, error) {
+	if err := o.c.Add(li); err != nil {
+		return nil, err
+	}
+	if li.Y == o.y0 {
+		return o.Key(), nil // line 2: nothing to do
+	}
+	o.p++
+	// Track the new arrival as a violator if it matches x₀ on E.
+	if li.X.AgreesOn(o.x0, o.key) {
+		o.violators = append(o.violators, o.c.Len()-1)
+	}
+
+	// Lines 3-6: first differing instance seeds E randomly.
+	if !o.seeded && len(o.key) == 0 {
+		o.seeded = true
+		for i := range o.weights {
+			if o.rng.Float64() < o.weights[i] {
+				o.addFeature(i)
+			}
+		}
+	}
+
+	budget := Budget(o.alpha, o.c.Len())
+	// Lines 8-15: grow E until the violators fit the budget.
+	for len(o.violators) > budget {
+		st := o.differingOutsideE(li.X)
+		if len(st) == 0 {
+			// x_t (or an earlier twin) is an inherent conflict; no feature
+			// can help, tolerate it and stop.
+			o.conflicts++
+			break
+		}
+		mu := 0.0
+		for _, i := range st {
+			mu += o.weights[i]
+		}
+		if mu > math.Log(float64(o.p)) {
+			// Line 11: deterministic pick, then done with this arrival.
+			o.addFeature(st[0])
+			break
+		}
+		// Lines 12-15: weight augmentation. Weights double until they reach
+		// 1, at which point the probabilistic add becomes certain, so the
+		// loop terminates after at most O(log n) rounds.
+		for _, i := range st {
+			if o.weights[i] < 1 {
+				o.weights[i] *= 2
+			}
+			if o.rng.Float64() < o.weights[i] {
+				o.addFeature(i)
+			}
+		}
+	}
+	return o.Key(), nil
+}
+
+// differingOutsideE returns S_t = {i ∉ E | x_t[A_i] ≠ x₀[A_i]}.
+func (o *OSRK) differingOutsideE(x feature.Instance) []int {
+	var st []int
+	for i := range x {
+		if !o.inE[i] && x[i] != o.x0[i] {
+			st = append(st, i)
+		}
+	}
+	return st
+}
+
+// addFeature extends E with feature i and filters the violator list.
+func (o *OSRK) addFeature(i int) {
+	if o.inE[i] {
+		return
+	}
+	o.inE[i] = true
+	o.key = o.key.With(i)
+	kept := o.violators[:0]
+	for _, r := range o.violators {
+		if o.c.Item(r).X[i] == o.x0[i] {
+			kept = append(kept, r)
+		}
+	}
+	o.violators = kept
+}
+
+// OSRKFixedProb is the ablation variant that never augments weights: every
+// differing feature is added with the fixed initial probability, retrying
+// until the budget is met (falling back to a deterministic pick when sampling
+// stalls). It keeps coherence and α-conformity but loses the competitive
+// bound of Theorem 5.
+type OSRKFixedProb struct {
+	inner *OSRK
+}
+
+// NewOSRKFixedProb builds the ablation monitor.
+func NewOSRKFixedProb(schema *feature.Schema, x0 feature.Instance, y0 feature.Label, alpha float64, seed int64) (*OSRKFixedProb, error) {
+	o, err := NewOSRK(schema, x0, y0, alpha, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &OSRKFixedProb{inner: o}, nil
+}
+
+// Key returns the current key.
+func (a *OSRKFixedProb) Key() Key { return a.inner.Key() }
+
+// Observe processes one arrival with fixed-probability sampling.
+func (a *OSRKFixedProb) Observe(li feature.Labeled) (Key, error) {
+	o := a.inner
+	if err := o.c.Add(li); err != nil {
+		return nil, err
+	}
+	if li.Y == o.y0 {
+		return o.Key(), nil
+	}
+	o.p++
+	if li.X.AgreesOn(o.x0, o.key) {
+		o.violators = append(o.violators, o.c.Len()-1)
+	}
+	budget := Budget(o.alpha, o.c.Len())
+	w := initialWeight(len(o.weights))
+	for tries := 0; len(o.violators) > budget; tries++ {
+		st := o.differingOutsideE(li.X)
+		if len(st) == 0 {
+			o.conflicts++
+			break
+		}
+		if tries >= 64 {
+			o.addFeature(st[0])
+			continue
+		}
+		for _, i := range st {
+			if o.rng.Float64() < w {
+				o.addFeature(i)
+			}
+		}
+	}
+	return o.Key(), nil
+}

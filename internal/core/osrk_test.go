@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+func TestOSRKValidation(t *testing.T) {
+	s := loanSchema(t)
+	if _, err := NewOSRK(s, feature.Instance{0, 0, 0, 0}, 0, 0, 1); err == nil {
+		t.Fatal("α=0 accepted")
+	}
+	if _, err := NewOSRK(s, feature.Instance{0}, 0, 1, 1); err == nil {
+		t.Fatal("bad instance accepted")
+	}
+	o, err := NewOSRK(s, feature.Instance{0, 0, 0, 0}, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Observe(feature.Labeled{X: feature.Instance{9, 0, 0, 0}, Y: 0}); err == nil {
+		t.Fatal("invalid arrival accepted")
+	}
+}
+
+func TestInitialWeight(t *testing.T) {
+	for n := 1; n <= 64; n++ {
+		w := initialWeight(n)
+		if n > 1 && w >= 1/float64(n) {
+			t.Fatalf("n=%d: w=%v not < 1/n", n, w)
+		}
+		if w*2 < 1/float64(n) && n > 1 {
+			t.Fatalf("n=%d: w=%v not maximal power of two", n, w)
+		}
+		// w must be a power of two.
+		if math.Exp2(math.Round(math.Log2(w))) != w {
+			t.Fatalf("n=%d: w=%v not a power of two", n, w)
+		}
+	}
+}
+
+// Property: OSRK keys are coherent and α-conformant after every arrival, for
+// random streams and several α values.
+func TestOSRKInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 25; trial++ {
+		c := randomContext(t, rng, 200, 3+rng.Intn(7), 2+rng.Intn(4), 2)
+		x0 := c.Item(0).X
+		y0 := c.Item(0).Y
+		alpha := []float64{1.0, 0.95, 0.9}[rng.Intn(3)]
+		o, err := NewOSRK(c.Schema, x0, y0, alpha, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := Key{}
+		for i := 0; i < c.Len(); i++ {
+			key, err := o.Observe(c.Item(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !prev.IsSubset(key) {
+				t.Fatalf("trial %d step %d: coherence violated", trial, i)
+			}
+			prev = key
+			v := Violations(o.Context(), x0, y0, key)
+			budget := Budget(alpha, o.Context().Len()) + o.Conflicts()
+			if v > budget {
+				t.Fatalf("trial %d step %d: violations %d > budget %d (conflicts %d)",
+					trial, i, v, budget, o.Conflicts())
+			}
+		}
+	}
+}
+
+func TestOSRKIgnoresAgreeingArrivals(t *testing.T) {
+	s := loanSchema(t)
+	x0 := feature.Instance{0, 1, 0, 1}
+	o, err := NewOSRK(s, x0, 0, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		key, err := o.Observe(feature.Labeled{X: feature.Instance{1, 0, 1, 0}, Y: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(key) != 0 {
+			t.Fatalf("same-prediction arrivals must not grow the key, got %v", key)
+		}
+	}
+}
+
+func TestOSRKConflictTolerated(t *testing.T) {
+	s := loanSchema(t)
+	x0 := feature.Instance{0, 1, 0, 1}
+	o, err := NewOSRK(s, x0, 0, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An exact twin with a different prediction cannot be excluded.
+	if _, err := o.Observe(feature.Labeled{X: x0.Clone(), Y: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if o.Conflicts() != 1 {
+		t.Fatalf("Conflicts = %d, want 1", o.Conflicts())
+	}
+}
+
+func TestOSRKSeedDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	c := randomContext(t, rng, 150, 6, 3, 2)
+	x0, y0 := c.Item(0).X, c.Item(0).Y
+	run := func(seed int64) Key {
+		o, err := NewOSRK(c.Schema, x0, y0, 1, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var key Key
+		for i := 0; i < c.Len(); i++ {
+			key, err = o.Observe(c.Item(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return key
+	}
+	if !run(77).Equal(run(77)) {
+		t.Fatal("same seed must reproduce the same key sequence")
+	}
+}
+
+// Theorem 5 sanity check: across random streams the online key stays within
+// a generous log(t)·log(n) factor of the batch-optimal key on average.
+func TestOSRKCompetitiveOnAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	var totalOnline, totalOpt float64
+	trials := 20
+	for trial := 0; trial < trials; trial++ {
+		c := randomContext(t, rng, 120, 6, 3, 2)
+		x0, y0 := c.Item(0).X, c.Item(0).Y
+		o, err := NewOSRK(c.Schema, x0, y0, 1, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < c.Len(); i++ {
+			if _, err := o.Observe(c.Item(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		opt, err := ExactMinKey(o.Context(), x0, y0, 1, 0)
+		if err != nil {
+			continue
+		}
+		totalOnline += float64(len(o.Key()))
+		totalOpt += float64(len(opt))
+	}
+	if totalOpt == 0 {
+		t.Skip("no solvable trials")
+	}
+	t0 := 120.0
+	bound := math.Log2(t0) * math.Log2(6) * 1.5
+	if ratio := totalOnline / totalOpt; ratio > bound {
+		t.Fatalf("average competitive ratio %.2f exceeds %.2f", ratio, bound)
+	}
+}
+
+func TestOSRKFixedProbInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	c := randomContext(t, rng, 150, 5, 3, 2)
+	x0, y0 := c.Item(0).X, c.Item(0).Y
+	a, err := NewOSRKFixedProb(c.Schema, x0, y0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := Key{}
+	for i := 0; i < c.Len(); i++ {
+		key, err := a.Observe(c.Item(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !prev.IsSubset(key) {
+			t.Fatal("ablation variant must stay coherent")
+		}
+		prev = key
+	}
+	v := Violations(a.inner.Context(), x0, y0, a.Key())
+	if v > a.inner.Conflicts() {
+		t.Fatalf("fixed-prob variant left %d violations", v)
+	}
+}
+
+// Invariants backing OSRK's O(n log n) analysis: weights start below 1/n,
+// never exceed 2, and the key never exceeds n features — even on adversarial
+// streams where every arrival differs from the target everywhere.
+func TestOSRKWeightAndSizeBounds(t *testing.T) {
+	s := loanSchema(t)
+	n := s.NumFeatures()
+	x0 := feature.Instance{0, 0, 0, 0}
+	o, err := NewOSRK(s, x0, 0, 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		// Adversarial arrival: differs from x0 on every feature, always a
+		// different prediction.
+		li := feature.Labeled{X: feature.Instance{1, 1, 1, 1}, Y: 1}
+		if i%2 == 0 {
+			li.X = feature.Instance{1, 2, 1, 2}
+		}
+		key, err := o.Observe(li)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(key) > n {
+			t.Fatalf("key size %d exceeds n=%d", len(key), n)
+		}
+		for _, w := range o.weights {
+			if w > 2 {
+				t.Fatalf("weight %v exceeded the doubling cap", w)
+			}
+		}
+	}
+	if v := Violations(o.Context(), x0, 0, o.Key()); v > o.Conflicts() {
+		t.Fatalf("adversarial stream left %d violations", v)
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+// This file implements the minimum-set-cover reduction behind Theorem 1
+// (MRKP is NP-complete) and Theorem 2(1) (the L-reduction showing the
+// (1−o(1))·ln α|I| inapproximability). It exists so the hardness argument is
+// executable: property tests round-trip covers and keys through it.
+
+// MSCInstance is a minimum set cover instance: a universe of m elements
+// {0..m-1} and n subsets.
+type MSCInstance struct {
+	M    int     // number of elements
+	Sets [][]int // Sets[j] lists the elements covered by subset j
+}
+
+// Validate checks element indices and that the union covers the universe.
+func (ins MSCInstance) Validate() error {
+	if ins.M <= 0 {
+		return fmt.Errorf("core: MSC universe must be non-empty")
+	}
+	covered := make([]bool, ins.M)
+	for j, s := range ins.Sets {
+		for _, e := range s {
+			if e < 0 || e >= ins.M {
+				return fmt.Errorf("core: MSC set %d references element %d outside [0,%d)", j, e, ins.M)
+			}
+			covered[e] = true
+		}
+	}
+	for e, ok := range covered {
+		if !ok {
+			return fmt.Errorf("core: MSC element %d not covered by any set", e)
+		}
+	}
+	return nil
+}
+
+// ReduceMSC builds the MRKP instance of Theorem 1's proof: a context with
+// m+1 instances over n features such that the MSC instance has a k-cover iff
+// x₀ has a k-minimum 1-conformant key relative to the context.
+//
+// Construction: x₀ = (0,...,0); for each element e_i an instance x_i with
+// x_i[A_j] ≠ 0 iff e_i ∈ S_j (a distinct non-zero constant per element);
+// every instance carries a distinct label.
+func ReduceMSC(ins MSCInstance) (*Context, feature.Instance, feature.Label, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, nil, 0, err
+	}
+	n := len(ins.Sets)
+	attrs := make([]feature.Attribute, n)
+	for j := range attrs {
+		vals := make([]string, ins.M+1)
+		vals[0] = "a" // the value of x₀
+		for e := 0; e < ins.M; e++ {
+			vals[e+1] = fmt.Sprintf("c%d", e)
+		}
+		attrs[j] = feature.Attribute{Name: fmt.Sprintf("S%d", j), Values: vals}
+	}
+	labels := make([]string, ins.M+1)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("L%d", i)
+	}
+	schema, err := feature.NewSchema(attrs, labels)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+
+	inSet := make([][]bool, ins.M)
+	for e := range inSet {
+		inSet[e] = make([]bool, n)
+	}
+	for j, s := range ins.Sets {
+		for _, e := range s {
+			inSet[e][j] = true
+		}
+	}
+
+	items := make([]feature.Labeled, 0, ins.M+1)
+	x0 := make(feature.Instance, n)
+	items = append(items, feature.Labeled{X: x0, Y: 0})
+	for e := 0; e < ins.M; e++ {
+		xi := make(feature.Instance, n)
+		for j := 0; j < n; j++ {
+			if inSet[e][j] {
+				xi[j] = feature.Value(e + 1) // differs from x₀'s 0
+			}
+		}
+		items = append(items, feature.Labeled{X: xi, Y: feature.Label(e + 1)})
+	}
+	c, err := NewContext(schema, items)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return c, x0, 0, nil
+}
+
+// CoverToKey maps a set cover (list of subset indices) to the corresponding
+// relative key of the reduced instance.
+func CoverToKey(cover []int) Key { return NewKey(cover...) }
+
+// KeyToCover maps a relative key of the reduced instance back to a set
+// cover.
+func KeyToCover(k Key) []int { return append([]int(nil), k...) }
+
+// IsCover reports whether the chosen subsets cover the MSC universe.
+func (ins MSCInstance) IsCover(chosen []int) bool {
+	covered := make([]bool, ins.M)
+	for _, j := range chosen {
+		if j < 0 || j >= len(ins.Sets) {
+			return false
+		}
+		for _, e := range ins.Sets[j] {
+			covered[e] = true
+		}
+	}
+	for _, ok := range covered {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ExactMinCover solves MSC by iterative-deepening search (exponential; test
+// use only).
+func (ins MSCInstance) ExactMinCover() ([]int, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(ins.Sets)
+	var choice []int
+	var dfs func(start, size int) bool
+	dfs = func(start, size int) bool {
+		if ins.IsCover(choice) {
+			return true
+		}
+		if size == 0 {
+			return false
+		}
+		for j := start; j <= n-size; j++ {
+			choice = append(choice, j)
+			if dfs(j+1, size-1) {
+				return true
+			}
+			choice = choice[:len(choice)-1]
+		}
+		return false
+	}
+	for size := 0; size <= n; size++ {
+		choice = choice[:0]
+		if dfs(0, size) {
+			return append([]int(nil), choice...), nil
+		}
+	}
+	return nil, fmt.Errorf("core: MSC instance has no cover (unreachable after Validate)")
+}
+
+// GreedyCover is the classical ln(m)-approximate greedy set cover; used to
+// cross-check the approximation behaviour of SRK through the reduction.
+func (ins MSCInstance) GreedyCover() []int {
+	covered := make([]bool, ins.M)
+	remaining := ins.M
+	var chosen []int
+	used := make([]bool, len(ins.Sets))
+	for remaining > 0 {
+		best, bestGain := -1, 0
+		for j, s := range ins.Sets {
+			if used[j] {
+				continue
+			}
+			gain := 0
+			for _, e := range s {
+				if !covered[e] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = j, gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used[best] = true
+		chosen = append(chosen, best)
+		for _, e := range ins.Sets[best] {
+			if !covered[e] {
+				covered[e] = true
+				remaining--
+			}
+		}
+	}
+	return chosen
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+// This file implements the first future-work direction of the paper's §8:
+// extending relative keys toward feature-importance explanations by defining
+// Shapley values over the context instead of the model. The characteristic
+// function of a feature coalition S is the precision of S as a relative key —
+// 1 − violations(S)/|I| — which is computable from the inference context
+// alone, preserving CCE's no-model-access property. A feature's context
+// Shapley value is then its average marginal contribution to making the
+// explanation conformant.
+
+// ContextShapley estimates the context-relative Shapley value of every
+// feature for instance x (predicted y) by permutation sampling: φ_i is the
+// expected gain in key precision when feature i joins a random prefix of
+// features. Values sum (in expectation) to precision(all) − precision(∅).
+func ContextShapley(c *Context, x feature.Instance, y feature.Label, samples int, seed int64) ([]float64, error) {
+	if err := c.Schema.Validate(x); err != nil {
+		return nil, err
+	}
+	n := c.Schema.NumFeatures()
+	if samples <= 0 {
+		samples = 64
+	}
+	if c.Len() == 0 {
+		return make([]float64, n), nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	phi := make([]float64, n)
+	total := float64(c.Len())
+
+	for s := 0; s < samples; s++ {
+		perm := rng.Perm(n)
+		// Walk the permutation, tracking the surviving violator set.
+		d := c.Disagreeing(y)
+		prev := float64(d.Count()) / total
+		for _, i := range perm {
+			d.And(c.Posting(i, x[i]))
+			cur := float64(d.Count()) / total
+			phi[i] += prev - cur // precision gain = violation drop
+			prev = cur
+		}
+	}
+	inv := 1 / float64(samples)
+	for i := range phi {
+		phi[i] *= inv
+	}
+	return phi, nil
+}
+
+// OnlineShapley maintains context Shapley values for a fixed instance as the
+// context grows — the "online setting with a dynamic context" of §8. It
+// recomputes lazily: Observe is O(1), Values pays one ContextShapley pass
+// only when the context changed since the last call.
+type OnlineShapley struct {
+	c       *Context
+	x       feature.Instance
+	y       feature.Label
+	samples int
+	seed    int64
+
+	lastLen int
+	cached  []float64
+}
+
+// NewOnlineShapley prepares online importance monitoring for x (predicted y).
+func NewOnlineShapley(schema *feature.Schema, x feature.Instance, y feature.Label, samples int, seed int64) (*OnlineShapley, error) {
+	if err := schema.Validate(x); err != nil {
+		return nil, err
+	}
+	c, err := NewContext(schema, nil)
+	if err != nil {
+		return nil, err
+	}
+	if samples <= 0 {
+		samples = 64
+	}
+	return &OnlineShapley{c: c, x: x.Clone(), y: y, samples: samples, seed: seed, lastLen: -1}, nil
+}
+
+// Observe appends one arrival to the dynamic context.
+func (o *OnlineShapley) Observe(li feature.Labeled) error {
+	return o.c.Add(li)
+}
+
+// Values returns the current context Shapley values (recomputed only when the
+// context changed).
+func (o *OnlineShapley) Values() ([]float64, error) {
+	if o.c.Len() == o.lastLen && o.cached != nil {
+		return append([]float64(nil), o.cached...), nil
+	}
+	phi, err := ContextShapley(o.c, o.x, o.y, o.samples, o.seed)
+	if err != nil {
+		return nil, err
+	}
+	o.cached = phi
+	o.lastLen = o.c.Len()
+	return append([]float64(nil), phi...), nil
+}
+
+// Context exposes the accumulated context.
+func (o *OnlineShapley) Context() *Context { return o.c }
+
+// TopFeatures returns the k features with the largest Shapley values, in
+// descending order.
+func (o *OnlineShapley) TopFeatures(k int) ([]int, error) {
+	phi, err := o.Values()
+	if err != nil {
+		return nil, err
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("core: negative k")
+	}
+	if k > len(phi) {
+		k = len(phi)
+	}
+	idx := make([]int, len(phi))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Selection of the top k by value (stable for ties via index order).
+	for a := 0; a < k; a++ {
+		best := a
+		for b := a + 1; b < len(idx); b++ {
+			if phi[idx[b]] > phi[idx[best]] {
+				best = b
+			}
+		}
+		idx[a], idx[best] = idx[best], idx[a]
+	}
+	return idx[:k], nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+func TestContextShapleyIdentifiesDiscriminatingFeature(t *testing.T) {
+	// Feature 0 alone separates x0 from every violator; feature 1 is noise.
+	s := feature.MustSchema([]feature.Attribute{
+		{Name: "A", Values: []string{"a0", "a1"}},
+		{Name: "B", Values: []string{"b0", "b1"}},
+	}, []string{"neg", "pos"})
+	var items []feature.Labeled
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		x := feature.Instance{feature.Value(rng.Intn(2)), feature.Value(rng.Intn(2))}
+		items = append(items, feature.Labeled{X: x, Y: x[0]})
+	}
+	c, err := NewContext(s, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := feature.Instance{1, 0}
+	phi, err := ContextShapley(c, x0, 1, 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With two features, the noise feature still collects chance marginals
+	// (≈¼ of the violators when ordered first); the discriminating feature
+	// must clearly dominate but not by an arbitrary margin.
+	if phi[0] < 2*math.Abs(phi[1]) {
+		t.Fatalf("discriminating feature not dominant: %v", phi)
+	}
+}
+
+// Efficiency property: the Shapley values sum to the total precision gain
+// from the empty to the full coalition (exactly, since every permutation walk
+// telescopes).
+func TestContextShapleyEfficiency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		c := randomContext(t, rng, 20+rng.Intn(200), 2+rng.Intn(5), 2+rng.Intn(3), 2)
+		row := c.Item(rng.Intn(c.Len()))
+		phi, err := ContextShapley(c, row.X, row.Y, 30, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, v := range phi {
+			sum += v
+		}
+		full := NewKey()
+		for a := 0; a < c.Schema.NumFeatures(); a++ {
+			full = full.With(a)
+		}
+		want := Precision(c, row.X, row.Y, full) - Precision(c, row.X, row.Y, Key{})
+		if math.Abs(sum-want) > 1e-9 {
+			t.Fatalf("trial %d: Σφ = %v, want %v", trial, sum, want)
+		}
+		for _, v := range phi {
+			if v < -1e-9 {
+				t.Fatalf("trial %d: negative marginal %v (violations only shrink)", trial, v)
+			}
+		}
+	}
+}
+
+func TestContextShapleyValidation(t *testing.T) {
+	c, x0, _ := loanContext(t)
+	if _, err := ContextShapley(c, feature.Instance{0}, 0, 10, 1); err == nil {
+		t.Fatal("bad instance accepted")
+	}
+	empty, err := NewContext(c.Schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, err := ContextShapley(empty, x0, 0, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range phi {
+		if v != 0 {
+			t.Fatal("empty context must give zero importance")
+		}
+	}
+}
+
+func TestOnlineShapley(t *testing.T) {
+	c, x0, y0 := loanContext(t)
+	o, err := NewOnlineShapley(c.Schema, x0, y0, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.Len(); i++ {
+		if err := o.Observe(c.Item(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	phi, err := o.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch and online must agree on the same context and seed.
+	batch, err := ContextShapley(c, x0, y0, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range phi {
+		if math.Abs(phi[i]-batch[i]) > 1e-12 {
+			t.Fatalf("online φ[%d]=%v != batch %v", i, phi[i], batch[i])
+		}
+	}
+	// Income and Credit (the relative key of Example 3) must rank top-2.
+	top, err := o.TopFeatures(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := NewKey(top...)
+	if !got.Equal(NewKey(attrIncome, attrCredit)) {
+		t.Fatalf("top-2 = %v, want {Income, Credit}", got.Render(c.Schema))
+	}
+	// Cached path: a second Values call without new arrivals is identical.
+	phi2, err := o.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range phi {
+		if phi[i] != phi2[i] {
+			t.Fatal("cache returned different values")
+		}
+	}
+	if _, err := o.TopFeatures(-1); err == nil {
+		t.Fatal("negative k accepted")
+	}
+	if top, err := o.TopFeatures(99); err != nil || len(top) != c.Schema.NumFeatures() {
+		t.Fatalf("oversized k not clamped: %v %v", top, err)
+	}
+	if o.Context().Len() != c.Len() {
+		t.Fatal("context accessor wrong")
+	}
+}
+
+func TestOnlineShapleyValidation(t *testing.T) {
+	s := loanSchema(t)
+	if _, err := NewOnlineShapley(s, feature.Instance{0}, 0, 10, 1); err == nil {
+		t.Fatal("bad instance accepted")
+	}
+}

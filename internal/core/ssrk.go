@@ -1,0 +1,311 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+// SSRK implements Algorithm 3: the deterministic online algorithm for
+// instances with static features, where the universe 𝕌 of instances and their
+// predictions is known offline but the arrival order is revealed online. It
+// maintains a coherent α-conformant key guided by the potential function
+// Φ = Σ_{x_j ∈ U} m^{2μ_j}, and is (log m · log n)-bounded for α = 1
+// (Theorem 6).
+type SSRK struct {
+	universe []feature.Labeled
+	c        *Context
+	x0       feature.Instance
+	y0       feature.Label
+	alpha    float64
+
+	weights []float64
+	inE     []bool
+	key     Key
+
+	// uAlive[j] is true while universe row j agrees with x₀ on E and has a
+	// different prediction (the shrinking U of Algorithm 3).
+	uAlive []bool
+	// diff[j] lists features where universe row j differs from x₀ (the S_j).
+	diff [][]int
+	// indexInU maps a universe position to its diff/uAlive slot; only rows
+	// with a different prediction participate.
+	inU []bool
+
+	m   float64 // |𝕌|, the base of the potential function
+	phi float64
+
+	violators int // |{rows of I agreeing with x₀ on E, different prediction}|
+	conflicts int
+}
+
+// NewSSRK prepares deterministic monitoring over the given universe. x₀'s
+// prediction y₀ is supplied by the caller (x₀ need not be in the universe).
+func NewSSRK(schema *feature.Schema, universe []feature.Labeled, x0 feature.Instance, y0 feature.Label, alpha float64) (*SSRK, error) {
+	if err := ValidateAlpha(alpha); err != nil {
+		return nil, err
+	}
+	if err := schema.Validate(x0); err != nil {
+		return nil, err
+	}
+	if len(universe) == 0 {
+		return nil, fmt.Errorf("core: SSRK requires a non-empty universe")
+	}
+	c, err := NewContext(schema, nil)
+	if err != nil {
+		return nil, err
+	}
+	n := schema.NumFeatures()
+	s := &SSRK{
+		universe: universe,
+		c:        c,
+		x0:       x0.Clone(),
+		y0:       y0,
+		alpha:    alpha,
+		weights:  make([]float64, n),
+		inE:      make([]bool, n),
+		key:      Key{},
+		uAlive:   make([]bool, len(universe)),
+		diff:     make([][]int, len(universe)),
+		inU:      make([]bool, len(universe)),
+		m:        float64(len(universe)),
+	}
+	// Offline initialization (lines 1-5).
+	for i := range s.weights {
+		s.weights[i] = 1 / (2 * float64(n))
+	}
+	for j, li := range universe {
+		if err := schema.Validate(li.X); err != nil {
+			return nil, fmt.Errorf("core: universe row %d: %w", j, err)
+		}
+		if li.Y == y0 {
+			continue
+		}
+		s.inU[j] = true
+		s.uAlive[j] = true
+		for i := range li.X {
+			if li.X[i] != x0[i] {
+				s.diff[j] = append(s.diff[j], i)
+			}
+		}
+	}
+	s.phi = s.potential()
+	return s, nil
+}
+
+// potential computes Φ = Σ_{alive j} m^{2μ_j} with current weights.
+func (s *SSRK) potential() float64 {
+	phi := 0.0
+	for j := range s.universe {
+		if !s.uAlive[j] {
+			continue
+		}
+		phi += math.Pow(s.m, 2*s.mu(j))
+	}
+	return phi
+}
+
+// mu returns μ_j = Σ_{i ∈ S_j \ E} w_i for universe row j.
+func (s *SSRK) mu(j int) float64 {
+	mu := 0.0
+	for _, i := range s.diff[j] {
+		if !s.inE[i] {
+			mu += s.weights[i]
+		}
+	}
+	return mu
+}
+
+// Key returns the current key E_t (a copy).
+func (s *SSRK) Key() Key { return s.key.Clone() }
+
+// Context returns the context accumulated so far.
+func (s *SSRK) Context() *Context { return s.c }
+
+// Conflicts returns the number of inherently unresolvable arrivals.
+func (s *SSRK) Conflicts() int { return s.conflicts }
+
+// Observe processes the arrival of universe row j and returns the updated
+// key. Rows may arrive in any order; arrivals outside the universe are
+// rejected.
+func (s *SSRK) Observe(j int) (Key, error) {
+	if j < 0 || j >= len(s.universe) {
+		return nil, fmt.Errorf("core: universe index %d out of range [0,%d)", j, len(s.universe))
+	}
+	li := s.universe[j]
+	if err := s.c.Add(li); err != nil {
+		return nil, err
+	}
+	if li.Y == s.y0 {
+		return s.Key(), nil // line 7
+	}
+	if li.X.AgreesOn(s.x0, s.key) {
+		s.violators++
+	}
+	budget := Budget(s.alpha, s.c.Len())
+	if s.violators <= budget {
+		return s.Key(), nil // line 8 condition fails
+	}
+	st := s.availableDiff(j)
+	if len(st) == 0 {
+		s.conflicts++
+		return s.Key(), nil
+	}
+	// Line 9: minimum k with 2^k·μ_t > 1.
+	mu := 0.0
+	for _, i := range st {
+		mu += s.weights[i]
+	}
+	k := 0
+	for mu > 0 && math.Exp2(float64(k))*mu <= 1 {
+		k++
+	}
+	// Line 10: weight augmentation.
+	scale := math.Exp2(float64(k))
+	for _, i := range st {
+		s.weights[i] *= scale
+	}
+	// Lines 11-16: expand E greedily until Φ' stops exceeding Φ.
+	phiPrime := s.potential()
+	for phiPrime > s.phi {
+		best, bestCard := -1, -1
+		for _, i := range st {
+			if s.inE[i] {
+				continue
+			}
+			card := s.survivorCount(i)
+			if bestCard < 0 || card < bestCard {
+				best, bestCard = i, card
+			}
+		}
+		if best < 0 {
+			break // every feature of S_t already in E; cannot shrink further
+		}
+		s.addFeature(best)
+		phiPrime = s.potential()
+	}
+	s.phi = phiPrime
+	// Feasibility guard: the potential argument assumes μ_t ≤ 1 before
+	// augmentation (Theorem 6's proof); with α < 1 or drifting data the loop
+	// can stall without restoring the budget, so force one greedy pick —
+	// any feature of S_t excludes x_t and restores feasibility.
+	if s.violators > budget {
+		if st = s.availableDiff(j); len(st) > 0 {
+			best, bestCard := st[0], -1
+			for _, i := range st {
+				if card := s.survivorCount(i); bestCard < 0 || card < bestCard {
+					best, bestCard = i, card
+				}
+			}
+			s.addFeature(best)
+		}
+	}
+	return s.Key(), nil
+}
+
+// ObserveInstance is a convenience wrapper locating li in the universe by
+// value equality; it fails if li is not a universe row.
+func (s *SSRK) ObserveInstance(li feature.Labeled) (Key, error) {
+	for j, u := range s.universe {
+		if u.Y == li.Y && u.X.Equal(li.X) {
+			return s.Observe(j)
+		}
+	}
+	return nil, fmt.Errorf("core: instance not found in SSRK universe")
+}
+
+// availableDiff returns S_t restricted to features outside E.
+func (s *SSRK) availableDiff(j int) []int {
+	var st []int
+	for _, i := range s.diff[j] {
+		if !s.inE[i] {
+			st = append(st, i)
+		}
+	}
+	return st
+}
+
+// survivorCount returns, over the whole universe, the number of rows that
+// agree with x₀ on E ∪ {i} and predict differently (the argmin of line 13).
+func (s *SSRK) survivorCount(i int) int {
+	count := 0
+	for j := range s.universe {
+		if !s.uAlive[j] {
+			continue
+		}
+		if s.universe[j].X[i] == s.x0[i] {
+			count++
+		}
+	}
+	return count
+}
+
+// addFeature extends E with feature i, updating U (line 15) and the context
+// violator counter.
+func (s *SSRK) addFeature(i int) {
+	if s.inE[i] {
+		return
+	}
+	s.inE[i] = true
+	s.key = s.key.With(i)
+	for j := range s.universe {
+		if s.uAlive[j] && s.universe[j].X[i] != s.x0[i] {
+			s.uAlive[j] = false
+		}
+	}
+	s.violators = Violations(s.c, s.x0, s.y0, s.key)
+}
+
+// SSRKFixedStop is the ablation variant that ignores the potential function
+// and always adds exactly one greedy feature per violating arrival.
+type SSRKFixedStop struct {
+	inner *SSRK
+}
+
+// NewSSRKFixedStop builds the ablation monitor.
+func NewSSRKFixedStop(schema *feature.Schema, universe []feature.Labeled, x0 feature.Instance, y0 feature.Label, alpha float64) (*SSRKFixedStop, error) {
+	s, err := NewSSRK(schema, universe, x0, y0, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return &SSRKFixedStop{inner: s}, nil
+}
+
+// Key returns the current key.
+func (a *SSRKFixedStop) Key() Key { return a.inner.Key() }
+
+// Observe processes universe row j, adding at most one feature.
+func (a *SSRKFixedStop) Observe(j int) (Key, error) {
+	s := a.inner
+	if j < 0 || j >= len(s.universe) {
+		return nil, fmt.Errorf("core: universe index %d out of range", j)
+	}
+	li := s.universe[j]
+	if err := s.c.Add(li); err != nil {
+		return nil, err
+	}
+	if li.Y == s.y0 {
+		return s.Key(), nil
+	}
+	if li.X.AgreesOn(s.x0, s.key) {
+		s.violators++
+	}
+	if s.violators <= Budget(s.alpha, s.c.Len()) {
+		return s.Key(), nil
+	}
+	st := s.availableDiff(j)
+	if len(st) == 0 {
+		s.conflicts++
+		return s.Key(), nil
+	}
+	best, bestCard := st[0], -1
+	for _, i := range st {
+		card := s.survivorCount(i)
+		if bestCard < 0 || card < bestCard {
+			best, bestCard = i, card
+		}
+	}
+	s.addFeature(best)
+	return s.Key(), nil
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+func TestSSRKValidation(t *testing.T) {
+	s := loanSchema(t)
+	x0 := feature.Instance{0, 1, 0, 1}
+	if _, err := NewSSRK(s, nil, x0, 0, 1); err == nil {
+		t.Fatal("empty universe accepted")
+	}
+	uni := []feature.Labeled{{X: feature.Instance{0, 0, 0, 0}, Y: 0}}
+	if _, err := NewSSRK(s, uni, x0, 0, 0); err == nil {
+		t.Fatal("α=0 accepted")
+	}
+	if _, err := NewSSRK(s, uni, feature.Instance{0}, 0, 1); err == nil {
+		t.Fatal("bad x0 accepted")
+	}
+	bad := []feature.Labeled{{X: feature.Instance{0}, Y: 0}}
+	if _, err := NewSSRK(s, bad, x0, 0, 1); err == nil {
+		t.Fatal("bad universe row accepted")
+	}
+	ss, err := NewSSRK(s, uni, x0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.Observe(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := ss.Observe(1); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := ss.ObserveInstance(feature.Labeled{X: feature.Instance{1, 1, 1, 1}, Y: 1}); err == nil {
+		t.Fatal("instance outside universe accepted")
+	}
+}
+
+// Property: SSRK keys are coherent and α-conformant after every arrival, for
+// random universes, arrival orders and α values.
+func TestSSRKInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		c := randomContext(t, rng, 150, 3+rng.Intn(7), 2+rng.Intn(4), 2)
+		uni := c.Items()
+		x0, y0 := uni[0].X, uni[0].Y
+		alpha := []float64{1.0, 0.95, 0.9}[rng.Intn(3)]
+		ss, err := NewSSRK(c.Schema, uni, x0, y0, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := rng.Perm(len(uni))
+		prev := Key{}
+		for _, j := range order {
+			key, err := ss.Observe(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !prev.IsSubset(key) {
+				t.Fatalf("trial %d: coherence violated", trial)
+			}
+			prev = key
+			v := Violations(ss.Context(), x0, y0, key)
+			if v > Budget(alpha, ss.Context().Len())+ss.Conflicts() {
+				t.Fatalf("trial %d: violations %d exceed budget %d (conflicts %d)",
+					trial, v, Budget(alpha, ss.Context().Len()), ss.Conflicts())
+			}
+		}
+	}
+}
+
+func TestSSRKDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	c := randomContext(t, rng, 100, 6, 3, 2)
+	uni := c.Items()
+	x0, y0 := uni[0].X, uni[0].Y
+	run := func() Key {
+		ss, err := NewSSRK(c.Schema, uni, x0, y0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var key Key
+		for j := range uni {
+			key, err = ss.Observe(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return key
+	}
+	if !run().Equal(run()) {
+		t.Fatal("SSRK must be deterministic")
+	}
+}
+
+func TestSSRKObserveInstance(t *testing.T) {
+	s := loanSchema(t)
+	items := loanInstances(t, s)
+	x0, y0 := items[0].X, items[0].Y
+	ss, err := NewSSRK(s, items, x0, y0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, li := range items {
+		if _, err := ss.ObserveInstance(li); err != nil {
+			t.Fatal(err)
+		}
+	}
+	key := ss.Key()
+	if !IsAlphaKey(ss.Context(), x0, y0, key, 1) {
+		t.Fatalf("final key %v not conformant", key)
+	}
+}
+
+// SSRK tends to produce keys no larger than OSRK on the same stream (the
+// paper reports 4.0 vs 4.9 average succinctness); check the aggregate trend.
+func TestSSRKMoreSuccinctThanOSRKOnAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var sumS, sumO int
+	for trial := 0; trial < 15; trial++ {
+		c := randomContext(t, rng, 200, 8, 3, 2)
+		uni := c.Items()
+		x0, y0 := uni[0].X, uni[0].Y
+		ss, err := NewSSRK(c.Schema, uni, x0, y0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := NewOSRK(c.Schema, x0, y0, 1, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range uni {
+			if _, err := ss.Observe(j); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := o.Observe(uni[j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sumS += len(ss.Key())
+		sumO += len(o.Key())
+	}
+	if sumS > sumO+2 {
+		t.Fatalf("SSRK total succinctness %d much worse than OSRK %d", sumS, sumO)
+	}
+}
+
+func TestSSRKConflict(t *testing.T) {
+	s := loanSchema(t)
+	x0 := feature.Instance{0, 1, 0, 1}
+	uni := []feature.Labeled{
+		{X: x0.Clone(), Y: 1}, // exact twin, different prediction
+	}
+	ss, err := NewSSRK(s, uni, x0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.Observe(0); err != nil {
+		t.Fatal(err)
+	}
+	if ss.Conflicts() != 1 {
+		t.Fatalf("Conflicts = %d, want 1", ss.Conflicts())
+	}
+}
+
+func TestSSRKFixedStopInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	c := randomContext(t, rng, 120, 6, 3, 2)
+	uni := c.Items()
+	x0, y0 := uni[0].X, uni[0].Y
+	a, err := NewSSRKFixedStop(c.Schema, uni, x0, y0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := Key{}
+	for j := range uni {
+		key, err := a.Observe(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !prev.IsSubset(key) {
+			t.Fatal("ablation variant must stay coherent")
+		}
+		prev = key
+	}
+	v := Violations(a.inner.Context(), x0, y0, a.Key())
+	if v > a.inner.Conflicts() {
+		t.Fatalf("fixed-stop variant left %d violations", v)
+	}
+	if _, err := a.Observe(-5); err == nil {
+		t.Fatal("bad index accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig, err := Load("loan", Options{Size: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Instances) != len(orig.Instances) {
+		t.Fatalf("row count %d, want %d", len(back.Instances), len(orig.Instances))
+	}
+	if back.Schema.NumFeatures() != orig.Schema.NumFeatures() {
+		t.Fatalf("feature count %d, want %d", back.Schema.NumFeatures(), orig.Schema.NumFeatures())
+	}
+	// Value strings must round-trip row by row (codes may differ because
+	// ReadCSV sorts domains).
+	for i, li := range orig.Instances {
+		for a := range li.X {
+			want := orig.Schema.Attrs[a].Values[li.X[a]]
+			got := back.Schema.Attrs[a].Values[back.Instances[i].X[a]]
+			if got != want {
+				t.Fatalf("row %d attr %d: %q != %q", i, a, got, want)
+			}
+		}
+		if back.Schema.Labels[back.Instances[i].Y] != orig.Schema.Labels[li.Y] {
+			t.Fatalf("row %d label mismatch", i)
+		}
+	}
+	if len(back.TrainIdx)+len(back.TestIdx) != len(back.Instances) {
+		t.Fatal("split does not partition")
+	}
+}
+
+func TestReadCSVHandCrafted(t *testing.T) {
+	in := "Credit,Income,label\npoor,low,Denied\ngood,high,Approved\npoor,high,Approved\n"
+	d, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Schema.NumFeatures() != 2 || len(d.Instances) != 3 {
+		t.Fatalf("parsed %d features, %d rows", d.Schema.NumFeatures(), len(d.Instances))
+	}
+	if d.Schema.AttrIndex("Credit") != 0 || d.Schema.AttrIndex("Income") != 1 {
+		t.Fatal("header names lost")
+	}
+	if d.Schema.LabelCode("Approved") < 0 || d.Schema.LabelCode("Denied") < 0 {
+		t.Fatal("label space wrong")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"only header":   "A,label\n",
+		"single column": "label\nx\n",
+		"ragged row":    "A,label\na,x\nb\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

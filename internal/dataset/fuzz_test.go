@@ -1,0 +1,35 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary CSV input never panics and that anything
+// accepted re-serializes to a loadable dataset.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("A,label\na,x\nb,y\n")
+	f.Add("Credit,Income,label\npoor,low,Denied\ngood,high,Approved\n")
+	f.Add("")
+	f.Add("label\nx\n")
+	f.Add("A,B,label\n\"q,uo\",2,x\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		d, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted input must round-trip.
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, d); err != nil {
+			t.Fatalf("WriteCSV on accepted dataset: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-read of written CSV: %v", err)
+		}
+		if len(back.Instances) != len(d.Instances) {
+			t.Fatalf("round trip changed row count: %d vs %d", len(back.Instances), len(d.Instances))
+		}
+	})
+}

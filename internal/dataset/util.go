@@ -1,0 +1,7 @@
+package dataset
+
+import "math"
+
+// sigmoid maps a latent score to a probability; every generator's labeling
+// rule goes through it so noise levels are controlled by score magnitudes.
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

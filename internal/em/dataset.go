@@ -1,0 +1,304 @@
+package em
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+// Record is a row of one source table: attribute values as strings, with
+// Price-like attributes additionally carrying a numeric value.
+type Record struct {
+	Values []string
+	Nums   []float64 // aligned with Values; NaN-free, 0 for non-numeric attrs
+}
+
+// Pair is a candidate match with its discretized similarity features.
+type Pair struct {
+	A, B  Record
+	Sims  []float64 // raw per-attribute similarity
+	X     feature.Instance
+	Y     feature.Label // 1 = match
+	IsDup bool          // ground truth used during generation
+}
+
+// Dataset is a materialized entity-matching benchmark.
+type Dataset struct {
+	Name     string
+	Domain   string
+	Attrs    []string // record attribute names (one similarity feature each)
+	Schema   *feature.Schema
+	Pairs    []Pair
+	TrainIdx []int
+	TestIdx  []int
+	NumMatch int
+}
+
+// Options controls materialization.
+type Options struct {
+	Seed int64
+	Size int // pair-count override; 0 = paper size (Table 1)
+	// SimBuckets is the number of buckets per similarity feature (default 5).
+	SimBuckets int
+}
+
+type emSpec struct {
+	name     string
+	domain   string
+	attrs    []string
+	numeric  []bool // which attrs are numeric
+	size     int
+	matches  int
+	seed     int64
+	wordPool []string
+}
+
+var emSpecs = map[string]emSpec{
+	"ag": {
+		name: "ag", domain: "Software", size: 11460, matches: 1167, seed: 20240611,
+		attrs:   []string{"Title", "Manufacturer", "Price"},
+		numeric: []bool{false, false, true},
+		wordPool: []string{
+			"pro", "studio", "deluxe", "office", "suite", "photo", "editor", "antivirus",
+			"security", "backup", "manager", "home", "premium", "ultimate", "2007", "2008",
+			"mac", "windows", "upgrade", "edition", "server", "design", "creative", "media",
+		},
+	},
+	"da": {
+		name: "da", domain: "Citations", size: 12363, matches: 2220, seed: 20240612,
+		attrs:   []string{"Title", "Authors", "Venue", "Year"},
+		numeric: []bool{false, false, false, true},
+		wordPool: []string{
+			"query", "optimization", "database", "systems", "distributed", "parallel",
+			"transaction", "index", "join", "stream", "mining", "learning", "graph",
+			"semantics", "processing", "efficient", "scalable", "adaptive", "approximate",
+		},
+	},
+	"dg": {
+		name: "dg", domain: "Citations", size: 28707, matches: 5347, seed: 20240613,
+		attrs:   []string{"Title", "Authors", "Venue", "Year"},
+		numeric: []bool{false, false, false, true},
+		wordPool: []string{
+			"web", "search", "ranking", "clustering", "classification", "retrieval",
+			"xml", "schema", "integration", "entity", "matching", "extraction", "knowledge",
+			"probabilistic", "relational", "temporal", "spatial", "privacy", "secure",
+		},
+	},
+	"wa": {
+		name: "wa", domain: "Electronics", size: 10242, matches: 962, seed: 20240614,
+		attrs:   []string{"Title", "Category", "Brand", "ModelNo", "Price"},
+		numeric: []bool{false, false, false, false, true},
+		wordPool: []string{
+			"camera", "digital", "wireless", "headphones", "speaker", "monitor", "laptop",
+			"tablet", "charger", "adapter", "cable", "black", "silver", "portable", "hd",
+			"bluetooth", "usb", "gaming", "stereo", "compact",
+		},
+	},
+}
+
+// Names lists the entity-matching datasets in the paper's order.
+func Names() []string { return []string{"ag", "da", "dg", "wa"} }
+
+// Load materializes an entity-matching dataset by name.
+func Load(name string, opt Options) (*Dataset, error) {
+	spec, ok := emSpecs[name]
+	if !ok {
+		return nil, fmt.Errorf("em: unknown dataset %q (have %v)", name, Names())
+	}
+	size := spec.size
+	if opt.Size > 0 {
+		size = opt.Size
+	}
+	buckets := opt.SimBuckets
+	if buckets <= 0 {
+		buckets = 5
+	}
+	seed := spec.seed
+	if opt.Seed != 0 {
+		seed = opt.Seed
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	matchFrac := float64(spec.matches) / float64(spec.size)
+	nMatch := int(matchFrac * float64(size))
+	if nMatch < 1 {
+		nMatch = 1
+	}
+
+	d := &Dataset{Name: name, Domain: spec.domain, Attrs: spec.attrs}
+	gen := &recordGen{spec: spec, rng: rng}
+
+	pairs := make([]Pair, 0, size)
+	for i := 0; i < size; i++ {
+		var p Pair
+		if i < nMatch {
+			p = gen.matchPair()
+		} else if flip(rng, 0.35) {
+			p = gen.hardNonMatch()
+		} else {
+			p = gen.randomNonMatch()
+		}
+		pairs = append(pairs, p)
+	}
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+
+	// Discretize similarities into equal-width buckets over [0,1].
+	b, err := feature.NewBucketer(0, 1, buckets)
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]feature.Attribute, len(spec.attrs))
+	for i, an := range spec.attrs {
+		attrs[i] = b.Attribute("Sim" + an)
+	}
+	schema, err := feature.NewSchema(attrs, []string{"NoMatch", "Match"})
+	if err != nil {
+		return nil, err
+	}
+	d.Schema = schema
+	for i := range pairs {
+		x := make(feature.Instance, len(spec.attrs))
+		for a, s := range pairs[i].Sims {
+			x[a] = b.Bucket(s)
+		}
+		pairs[i].X = x
+		if pairs[i].IsDup {
+			pairs[i].Y = 1
+			d.NumMatch++
+		}
+	}
+	d.Pairs = pairs
+
+	perm := rand.New(rand.NewSource(seed + 1)).Perm(len(pairs))
+	cut := len(pairs) * 7 / 10
+	d.TrainIdx = append([]int(nil), perm[:cut]...)
+	d.TestIdx = append([]int(nil), perm[cut:]...)
+	sort.Ints(d.TrainIdx)
+	sort.Ints(d.TestIdx)
+	return d, nil
+}
+
+// Labeled returns pairs as labeled instances (ground truth).
+func (d *Dataset) Labeled(idx []int) []feature.Labeled {
+	out := make([]feature.Labeled, len(idx))
+	for i, j := range idx {
+		out[i] = feature.Labeled{X: d.Pairs[j].X, Y: d.Pairs[j].Y}
+	}
+	return out
+}
+
+type recordGen struct {
+	spec emSpec
+	rng  *rand.Rand
+}
+
+// newRecord synthesizes a fresh record.
+func (g *recordGen) newRecord() Record {
+	rec := Record{
+		Values: make([]string, len(g.spec.attrs)),
+		Nums:   make([]float64, len(g.spec.attrs)),
+	}
+	for a := range g.spec.attrs {
+		if g.spec.numeric[a] {
+			v := 10 + 490*g.rng.Float64()
+			if g.spec.domain == "Citations" {
+				v = float64(1985 + g.rng.Intn(25)) // Year
+			}
+			rec.Nums[a] = v
+			rec.Values[a] = fmt.Sprintf("%.0f", v)
+			continue
+		}
+		n := 2 + g.rng.Intn(5)
+		if a > 0 {
+			n = 1 + g.rng.Intn(2) // short non-title fields
+		}
+		words := make([]string, n)
+		for w := range words {
+			words[w] = g.spec.wordPool[g.rng.Intn(len(g.spec.wordPool))]
+		}
+		rec.Values[a] = strings.Join(words, " ")
+	}
+	return rec
+}
+
+// corrupt returns a noisy copy of rec, as data-entry variation would.
+func (g *recordGen) corrupt(rec Record) Record {
+	out := Record{
+		Values: append([]string(nil), rec.Values...),
+		Nums:   append([]float64(nil), rec.Nums...),
+	}
+	for a := range out.Values {
+		if g.spec.numeric[a] {
+			if flip(g.rng, 0.3) {
+				out.Nums[a] = rec.Nums[a] * (1 + 0.08*(g.rng.Float64()-0.5))
+				out.Values[a] = fmt.Sprintf("%.0f", out.Nums[a])
+			}
+			continue
+		}
+		words := strings.Fields(rec.Values[a])
+		switch {
+		case len(words) > 1 && flip(g.rng, 0.35):
+			// Drop a token.
+			i := g.rng.Intn(len(words))
+			words = append(words[:i], words[i+1:]...)
+		case flip(g.rng, 0.25):
+			// Typo in one token.
+			i := g.rng.Intn(len(words))
+			w := []byte(words[i])
+			if len(w) > 1 {
+				w[g.rng.Intn(len(w))] = byte('a' + g.rng.Intn(26))
+				words[i] = string(w)
+			}
+		case flip(g.rng, 0.2):
+			// Append a spurious token.
+			words = append(words, g.spec.wordPool[g.rng.Intn(len(g.spec.wordPool))])
+		}
+		out.Values[a] = strings.Join(words, " ")
+	}
+	return out
+}
+
+func (g *recordGen) sims(a, b Record) []float64 {
+	out := make([]float64, len(g.spec.attrs))
+	for i := range out {
+		switch {
+		case g.spec.numeric[i]:
+			out[i] = NumSim(a.Nums[i], b.Nums[i])
+		case len(a.Values[i]) < 12 && len(b.Values[i]) < 12:
+			out[i] = EditSim(a.Values[i], b.Values[i])
+		default:
+			out[i] = TokenJaccard(a.Values[i], b.Values[i])
+		}
+	}
+	return out
+}
+
+func (g *recordGen) matchPair() Pair {
+	a := g.newRecord()
+	b := g.corrupt(a)
+	return Pair{A: a, B: b, Sims: g.sims(a, b), IsDup: true}
+}
+
+// hardNonMatch shares some tokens (same domain vocabulary) but is a distinct
+// entity — the pairs that make matching non-trivial.
+func (g *recordGen) hardNonMatch() Pair {
+	a := g.newRecord()
+	b := g.newRecord()
+	// Share the brand/venue-style attribute to create partial similarity.
+	if len(a.Values) > 1 && flip(g.rng, 0.6) {
+		b.Values[1] = a.Values[1]
+		b.Nums[1] = a.Nums[1]
+	}
+	return Pair{A: a, B: b, Sims: g.sims(a, b), IsDup: false}
+}
+
+func (g *recordGen) randomNonMatch() Pair {
+	a := g.newRecord()
+	b := g.newRecord()
+	return Pair{A: a, B: b, Sims: g.sims(a, b), IsDup: false}
+}
+
+func flip(r *rand.Rand, p float64) bool { return r.Float64() < p }

@@ -1,0 +1,167 @@
+package em
+
+import (
+	"math"
+	"testing"
+
+	"github.com/xai-db/relativekeys/internal/nn"
+)
+
+func TestSimilarityFunctions(t *testing.T) {
+	if got := TokenJaccard("a b c", "a b c"); got != 1 {
+		t.Fatalf("identical Jaccard = %v", got)
+	}
+	if got := TokenJaccard("a b", "c d"); got != 0 {
+		t.Fatalf("disjoint Jaccard = %v", got)
+	}
+	if got := TokenJaccard("a b", "b c"); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Fatalf("Jaccard = %v, want 1/3", got)
+	}
+	if TokenJaccard("", "") != 1 || TokenJaccard("a", "") != 0 {
+		t.Fatal("empty-string Jaccard wrong")
+	}
+
+	cases := []struct {
+		a, b string
+		d    int
+	}{
+		{"", "", 0}, {"abc", "abc", 0}, {"abc", "abd", 1},
+		{"abc", "ab", 1}, {"", "xyz", 3}, {"kitten", "sitting", 3},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.d {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.d)
+		}
+	}
+	if EditSim("abc", "abc") != 1 || EditSim("", "") != 1 {
+		t.Fatal("EditSim identity wrong")
+	}
+	if got := EditSim("abcd", "abce"); got != 0.75 {
+		t.Fatalf("EditSim = %v, want 0.75", got)
+	}
+	if NumSim(100, 100) != 1 || NumSim(0, 0) != 1 {
+		t.Fatal("NumSim identity wrong")
+	}
+	if got := NumSim(100, 50); got != 0.5 {
+		t.Fatalf("NumSim = %v, want 0.5", got)
+	}
+}
+
+// Table 1 pins pair counts, match counts and feature counts.
+func TestTable1EMSizes(t *testing.T) {
+	want := map[string]struct{ pairs, matches, feats int }{
+		"ag": {11460, 1167, 3},
+		"da": {12363, 2220, 4},
+		"dg": {28707, 5347, 4},
+		"wa": {10242, 962, 5},
+	}
+	for name, w := range want {
+		d, err := Load(name, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(d.Pairs) != w.pairs {
+			t.Errorf("%s: %d pairs, want %d", name, len(d.Pairs), w.pairs)
+		}
+		if d.Schema.NumFeatures() != w.feats {
+			t.Errorf("%s: %d features, want %d", name, d.Schema.NumFeatures(), w.feats)
+		}
+		// Match count within 1% of the paper's (integer rounding of the
+		// fraction).
+		if diff := d.NumMatch - w.matches; diff < -w.matches/100-2 || diff > w.matches/100+2 {
+			t.Errorf("%s: %d matches, want ≈%d", name, d.NumMatch, w.matches)
+		}
+	}
+}
+
+func TestUnknownEMDataset(t *testing.T) {
+	if _, err := Load("zzz", Options{}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestEMSimFeatureSeparation(t *testing.T) {
+	// Matched pairs must have visibly higher title similarity on average.
+	d, err := Load("ag", Options{Size: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mSum, nSum float64
+	var mN, nN int
+	for _, p := range d.Pairs {
+		if p.IsDup {
+			mSum += p.Sims[0]
+			mN++
+		} else {
+			nSum += p.Sims[0]
+			nN++
+		}
+	}
+	if mN == 0 || nN == 0 {
+		t.Fatal("degenerate pair mix")
+	}
+	if mSum/float64(mN) < nSum/float64(nN)+0.3 {
+		t.Fatalf("match title sim %.3f vs non-match %.3f: not separable",
+			mSum/float64(mN), nSum/float64(nN))
+	}
+}
+
+func TestEMMatcherLearnable(t *testing.T) {
+	// The Ditto substitute must reach high accuracy on held-out pairs.
+	d, err := Load("da", Options{Size: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := nn.Train(d.Schema, d.Labeled(d.TrainIdx), nn.Config{Hidden: 12, Epochs: 25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := d.Labeled(d.TestIdx)
+	ok := 0
+	for _, li := range test {
+		if m.Predict(li.X) == li.Y {
+			ok++
+		}
+	}
+	if acc := float64(ok) / float64(len(test)); acc < 0.9 {
+		t.Fatalf("matcher holdout accuracy %.3f, want ≥0.9", acc)
+	}
+}
+
+func TestEMDeterminism(t *testing.T) {
+	a, err := Load("wa", Options{Size: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load("wa", Options{Size: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Pairs {
+		if !a.Pairs[i].X.Equal(b.Pairs[i].X) || a.Pairs[i].Y != b.Pairs[i].Y {
+			t.Fatalf("pair %d differs across loads", i)
+		}
+	}
+}
+
+func TestEMBucketOption(t *testing.T) {
+	d, err := Load("ag", Options{Size: 200, SimBuckets: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range d.Schema.Attrs {
+		if a.Cardinality() != 8 {
+			t.Fatalf("attr %s has %d buckets, want 8", a.Name, a.Cardinality())
+		}
+	}
+}
+
+func TestEMSplitPartition(t *testing.T) {
+	d, err := Load("dg", Options{Size: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.TrainIdx)+len(d.TestIdx) != len(d.Pairs) {
+		t.Fatal("split does not partition")
+	}
+}

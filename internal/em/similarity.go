@@ -1,0 +1,113 @@
+// Package em implements the entity-matching substrate of §7.5: dual-table
+// record generators for the four Magellan-style benchmark datasets (A-G, D-A,
+// D-G, W-A), per-attribute string similarity features, and pair labeling. The
+// explainers operate on the bucketed similarity features of each candidate
+// pair; the matcher itself is an MLP (package nn), standing in for Ditto.
+package em
+
+import (
+	"strings"
+)
+
+// TokenJaccard returns the Jaccard similarity of the whitespace token sets of
+// two strings, in [0,1]. Empty-vs-empty is defined as 1.
+func TokenJaccard(a, b string) float64 {
+	ta := tokenSet(a)
+	tb := tokenSet(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	inter := 0
+	for t := range ta {
+		if tb[t] {
+			inter++
+		}
+	}
+	union := len(ta) + len(tb) - inter
+	return float64(inter) / float64(union)
+}
+
+func tokenSet(s string) map[string]bool {
+	out := map[string]bool{}
+	for _, t := range strings.Fields(strings.ToLower(s)) {
+		out[t] = true
+	}
+	return out
+}
+
+// Levenshtein returns the edit distance between two strings (bytes).
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	la, lb := len(a), len(b)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1 // deletion
+			if v := cur[j-1] + 1; v < m {
+				m = v // insertion
+			}
+			if v := prev[j-1] + cost; v < m {
+				m = v // substitution
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb]
+}
+
+// EditSim returns a normalized edit similarity 1 − lev/max(|a|,|b|) in [0,1].
+func EditSim(a, b string) float64 {
+	if a == "" && b == "" {
+		return 1
+	}
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(n)
+}
+
+// NumSim returns a similarity for two non-negative numerics rendered as
+// strings: 1 − |a−b|/max(a,b), or exact-match fallback for non-numerics.
+func NumSim(a, b float64) float64 {
+	if a == b {
+		return 1
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	if m == 0 {
+		return 1
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	s := 1 - d/m
+	if s < 0 {
+		return 0
+	}
+	return s
+}

@@ -1,0 +1,74 @@
+package em
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: every similarity is symmetric, bounded in [0,1], and 1 on
+// identical inputs.
+func TestQuickSimilarityProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+
+	bounded := func(v float64) bool { return v >= 0 && v <= 1 }
+
+	if err := quick.Check(func(a, b string) bool {
+		j1, j2 := TokenJaccard(a, b), TokenJaccard(b, a)
+		return j1 == j2 && bounded(j1) && TokenJaccard(a, a) == 1
+	}, cfg); err != nil {
+		t.Errorf("TokenJaccard: %v", err)
+	}
+
+	if err := quick.Check(func(a, b string) bool {
+		if len(a) > 64 || len(b) > 64 {
+			return true // keep the quadratic DP cheap
+		}
+		d1, d2 := Levenshtein(a, b), Levenshtein(b, a)
+		maxLen := len(a)
+		if len(b) > maxLen {
+			maxLen = len(b)
+		}
+		return d1 == d2 && d1 >= 0 && d1 <= maxLen && Levenshtein(a, a) == 0
+	}, cfg); err != nil {
+		t.Errorf("Levenshtein: %v", err)
+	}
+
+	if err := quick.Check(func(a, b string) bool {
+		if len(a) > 64 || len(b) > 64 {
+			return true
+		}
+		s := EditSim(a, b)
+		return s == EditSim(b, a) && bounded(s) && EditSim(a, a) == 1
+	}, cfg); err != nil {
+		t.Errorf("EditSim: %v", err)
+	}
+
+	if err := quick.Check(func(a, b float64) bool {
+		if a < 0 {
+			a = -a
+		}
+		if b < 0 {
+			b = -b
+		}
+		if a != a || b != b || a > 1e300 || b > 1e300 { // NaN / overflow guards
+			return true
+		}
+		s := NumSim(a, b)
+		return s == NumSim(b, a) && bounded(s) && NumSim(a, a) == 1
+	}, cfg); err != nil {
+		t.Errorf("NumSim: %v", err)
+	}
+}
+
+// Property: Levenshtein satisfies the triangle inequality on short strings.
+func TestQuickLevenshteinTriangle(t *testing.T) {
+	f := func(a, b, c string) bool {
+		if len(a) > 24 || len(b) > 24 || len(c) > 24 {
+			return true
+		}
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

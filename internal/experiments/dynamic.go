@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/xai-db/relativekeys/internal/cce"
+	"github.com/xai-db/relativekeys/internal/core"
+	"github.com/xai-db/relativekeys/internal/dataset"
+	"github.com/xai-db/relativekeys/internal/explain"
+	"github.com/xai-db/relativekeys/internal/explain/lime"
+	"github.com/xai-db/relativekeys/internal/explain/shap"
+	"github.com/xai-db/relativekeys/internal/feature"
+	"github.com/xai-db/relativekeys/internal/metrics"
+	"github.com/xai-db/relativekeys/internal/model"
+)
+
+// This file regenerates Appendix B Exp-4 (Figures 4f–4h): explaining a
+// 5-phase dynamic model whose updates are not announced to the explainers.
+
+func init() {
+	register("F4f", fig4f)
+	register("F4g", fig4g)
+	register("F4h", fig4h)
+}
+
+// dynamicSetup builds the 5-phase dynamic model of Exp-4: the dataset is
+// split into 5 equal parts, each training its own forest; the inference
+// stream concatenates each phase's test predictions.
+type dynamicSetup struct {
+	schema *feature.Schema
+	phases []*phase
+}
+
+type phase struct {
+	m         *model.Forest
+	inference []feature.Labeled // phase test instances with phase-model preds
+	refCtx    *core.Context     // reference context for this phase
+	sample    []feature.Labeled // explained instances of this phase
+}
+
+func (e *Env) dynamic(name string) (*dynamicSetup, error) {
+	dopt := dataset.Options{}
+	if e.cfg.Quick {
+		dopt.Size = quickSizes[name]
+	}
+	ds, err := dataset.Load(name, dopt)
+	if err != nil {
+		return nil, err
+	}
+	const nPhases = 5
+	all := ds.Instances
+	per := len(all) / nPhases
+	if per < 20 {
+		return nil, fmt.Errorf("experiments: dataset %s too small for 5 phases", name)
+	}
+	setup := &dynamicSetup{schema: ds.Schema}
+	perPhaseSample := e.cfg.Instances / nPhases
+	if perPhaseSample < 2 {
+		perPhaseSample = 2
+	}
+	fcfg := model.ForestConfig{NumTrees: 9, MaxDepth: 5, MinLeaf: 3}
+	for i := 0; i < nPhases; i++ {
+		part := all[i*per : (i+1)*per]
+		cut := len(part) * 7 / 10
+		fcfg.Seed = e.cfg.Seed + int64(i)
+		m, err := model.TrainForest(ds.Schema, part[:cut], fcfg)
+		if err != nil {
+			return nil, err
+		}
+		var inference []feature.Labeled
+		for _, li := range part[cut:] {
+			inference = append(inference, feature.Labeled{X: li.X, Y: m.Predict(li.X)})
+		}
+		refCtx, err := core.NewContext(ds.Schema, inference)
+		if err != nil {
+			return nil, err
+		}
+		sample := inference
+		if len(sample) > perPhaseSample {
+			sample = sample[:perPhaseSample]
+		}
+		setup.phases = append(setup.phases, &phase{
+			m: m, inference: inference, refCtx: refCtx, sample: sample,
+		})
+	}
+	return setup, nil
+}
+
+// dynamicRuns explains each phase's sample with every method, all oblivious
+// to the model updates: CCE uses a sliding window over the concatenated
+// stream; the model-querying baselines keep querying the phase-0 model;
+// the reference is SRK over the current phase's true inference context.
+func (e *Env) dynamicRuns(name string) (ref []metrics.Explained, byMethod map[string][]metrics.Explained, refCtxs []*core.Context, err error) {
+	e.mu.Lock()
+	if e.dynCache == nil {
+		e.dynCache = map[string]*dynResult{}
+	}
+	if c, ok := e.dynCache[name]; ok {
+		e.mu.Unlock()
+		return c.ref, c.byMethod, c.ctxs, nil
+	}
+	e.mu.Unlock()
+	defer func() {
+		if err == nil {
+			e.mu.Lock()
+			e.dynCache[name] = &dynResult{ref: ref, byMethod: byMethod, ctxs: refCtxs}
+			e.mu.Unlock()
+		}
+	}()
+	setup, err := e.dynamic(name)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	schema := setup.schema
+	staleModel := setup.phases[0].m
+
+	// Background for the stale-model baselines: phase-0 inference rows.
+	var bgRows []feature.Instance
+	for _, li := range setup.phases[0].inference {
+		bgRows = append(bgRows, li.X)
+	}
+	bg, err := explain.NewBackground(schema, bgRows)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	winCap := len(setup.phases[0].inference)
+	if winCap < 10 {
+		winCap = 10
+	}
+	step := winCap / 4
+	if step < 1 {
+		step = 1
+	}
+	window, err := cce.NewWindow(schema, winCap, step, 1.0, cce.LastWins)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	byMethod = map[string][]metrics.Explained{}
+	for _, ph := range setup.phases {
+		// Stream this phase into CCE's window.
+		for _, li := range ph.inference {
+			if err := window.Observe(li); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		for i, li := range ph.sample {
+			// Reference: SRK over the phase's true context.
+			refKey, err := core.SRK(ph.refCtx, li.X, li.Y, 1.0)
+			if err == core.ErrNoKey {
+				refKey = core.NewKey()
+			} else if err != nil {
+				return nil, nil, nil, err
+			}
+			ref = append(ref, metrics.Explained{X: li.X, Y: li.Y, Key: refKey})
+			refCtxs = append(refCtxs, ph.refCtx)
+			size := refKey.Succinctness()
+
+			// CCE oblivious: window explanation (prediction observed
+			// client-side, so it is the current phase's).
+			wKey, err := window.Explain(li.X, li.Y)
+			if err == core.ErrNoKey {
+				wKey = core.NewKey()
+			} else if err != nil {
+				return nil, nil, nil, err
+			}
+			byMethod["CCE"] = append(byMethod["CCE"], metrics.Explained{X: li.X, Y: li.Y, Key: wKey})
+
+			// Stale-model baselines.
+			seed := e.cfg.Seed + int64(i)
+			limeCfg := lime.Config{Seed: seed}
+			shapCfg := shap.Config{Seed: seed}
+			if e.cfg.Quick {
+				limeCfg.Samples = 100
+				shapCfg.Samples = 120
+				shapCfg.Background = 3
+			}
+			lexp, err := lime.New(staleModel, bg, limeCfg).Explain(li.X)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			byMethod["LIME"] = append(byMethod["LIME"], metrics.Explained{X: li.X, Y: li.Y, Key: explain.DeriveKey(lexp.Scores, max(size, 1))})
+
+			sexp, err := shap.New(staleModel, bg, shapCfg).Explain(li.X)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			byMethod["SHAP"] = append(byMethod["SHAP"], metrics.Explained{X: li.X, Y: li.Y, Key: explain.DeriveKey(sexp.Scores, max(size, 1))})
+		}
+	}
+	return ref, byMethod, refCtxs, nil
+}
+
+// dynResult caches a dynamic-model run shared by F4f and F4g.
+type dynResult struct {
+	ref      []metrics.Explained
+	byMethod map[string][]metrics.Explained
+	ctxs     []*core.Context
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// fig4f: recall of CCE vs the per-phase reference under a dynamic model.
+func fig4f(e *Env) (*Table, error) {
+	t := &Table{
+		ID:     "F4f",
+		Title:  "Dynamic models: recall vs per-phase reference",
+		Header: []string{"dataset", "CCE", "LIME", "SHAP"},
+		Notes:  []string{"paper: CCE 65.8–96.5% while Xreason-style static explanations fall to ≈9–14%"},
+	}
+	for _, ds := range dynamicDatasets(e) {
+		ref, by, ctxs, err := e.dynamicRuns(ds)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{ds}
+		for _, m := range []string{"CCE", "LIME", "SHAP"} {
+			var sum float64
+			for i := range ref {
+				_, r, err := metrics.Recall(ctxs[i], []metrics.Explained{ref[i]}, []metrics.Explained{by[m][i]})
+				if err != nil {
+					return nil, err
+				}
+				sum += r
+			}
+			row = append(row, fmtPct(sum/float64(len(ref))))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// fig4g: conformity (vs the current phase's context) of oblivious methods.
+func fig4g(e *Env) (*Table, error) {
+	t := &Table{
+		ID:     "F4g",
+		Title:  "Dynamic models: conformity of model-oblivious explanations",
+		Header: []string{"dataset", "CCE", "LIME", "SHAP"},
+		Notes:  []string{"paper: CCE highest everywhere, smallest drop vs the static setting (−6.6%)"},
+	}
+	for _, ds := range dynamicDatasets(e) {
+		_, by, ctxs, err := e.dynamicRuns(ds)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{ds}
+		for _, m := range []string{"CCE", "LIME", "SHAP"} {
+			ok := 0
+			for i, ex := range by[m] {
+				if core.Violations(ctxs[i], ex.X, ex.Y, ex.Key) == 0 {
+					ok++
+				}
+			}
+			row = append(row, fmtPct(float64(ok)/float64(len(by[m]))))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// fig4h: robustness of CCE's sliding window to the step size ΔI.
+func fig4h(e *Env) (*Table, error) {
+	name := "compas"
+	if e.cfg.Quick {
+		name = "loan"
+	}
+	setup, err := e.dynamic(name)
+	if err != nil {
+		return nil, err
+	}
+	winCap := len(setup.phases[0].inference)
+	steps := []int{winCap / 8, winCap / 4, winCap / 2}
+	t := &Table{
+		ID:     "F4h",
+		Title:  fmt.Sprintf("Dynamic models: CCE conformity vs window step ΔI (%s)", name),
+		Header: []string{"ΔI", "conformity", "succinctness"},
+		Notes:  []string{"paper: CCE robust against varying ΔI"},
+	}
+	for _, step := range steps {
+		if step < 1 {
+			step = 1
+		}
+		window, err := cce.NewWindow(setup.schema, winCap, step, 1.0, cce.LastWins)
+		if err != nil {
+			return nil, err
+		}
+		var explained []metrics.Explained
+		var ctxs []*core.Context
+		for _, ph := range setup.phases {
+			for _, li := range ph.inference {
+				if err := window.Observe(li); err != nil {
+					return nil, err
+				}
+			}
+			for _, li := range ph.sample {
+				key, err := window.Explain(li.X, li.Y)
+				if err == core.ErrNoKey {
+					key = core.NewKey()
+				} else if err != nil {
+					return nil, err
+				}
+				explained = append(explained, metrics.Explained{X: li.X, Y: li.Y, Key: key})
+				ctxs = append(ctxs, ph.refCtx)
+			}
+		}
+		ok := 0
+		for i, ex := range explained {
+			if core.Violations(ctxs[i], ex.X, ex.Y, ex.Key) == 0 {
+				ok++
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(step),
+			fmtPct(float64(ok) / float64(len(explained))),
+			fmtF(metrics.Succinctness(explained)),
+		})
+	}
+	return t, nil
+}
+
+func dynamicDatasets(e *Env) []string {
+	if e.cfg.Quick {
+		return []string{"loan", "german"}
+	}
+	return dataset.GeneralNames()
+}

@@ -1,0 +1,178 @@
+// Package anchor implements the Anchor explainer of Ribeiro et al. (AAAI'18),
+// the dominant heuristic feature-explanation baseline of the paper (§2, §7).
+// It beam-searches over candidate anchors (feature subsets of the instance),
+// estimating each candidate's precision — the probability that a perturbed
+// instance fixing the anchor's features receives the same prediction — with
+// upper-confidence-bound sampling, and stops at the first anchor whose
+// precision lower bound clears the threshold τ. Like the original, it offers
+// no conformity guarantee.
+package anchor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/xai-db/relativekeys/internal/core"
+	"github.com/xai-db/relativekeys/internal/explain"
+	"github.com/xai-db/relativekeys/internal/feature"
+	"github.com/xai-db/relativekeys/internal/model"
+)
+
+// Config tunes the search.
+type Config struct {
+	Tau        float64 // precision threshold, default 0.95
+	Delta      float64 // confidence parameter, default 0.1
+	BeamWidth  int     // default 2
+	BatchSize  int     // perturbations per evaluation batch, default 25
+	MaxBatches int     // per candidate per round, default 12
+	MaxAnchor  int     // maximum anchor size, default n
+	RowFrac    float64 // fraction of row-based perturbations, default 0.5
+	Seed       int64
+}
+
+func (c Config) normalize(n int) Config {
+	if c.Tau <= 0 || c.Tau > 1 {
+		c.Tau = 0.95
+	}
+	if c.Delta <= 0 || c.Delta >= 1 {
+		c.Delta = 0.1
+	}
+	if c.BeamWidth <= 0 {
+		c.BeamWidth = 2
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 25
+	}
+	if c.MaxBatches <= 0 {
+		c.MaxBatches = 12
+	}
+	if c.MaxAnchor <= 0 || c.MaxAnchor > n {
+		c.MaxAnchor = n
+	}
+	if c.RowFrac < 0 || c.RowFrac > 1 {
+		c.RowFrac = 0.5
+	}
+	return c
+}
+
+// Explainer is a configured Anchor instance for one model.
+type Explainer struct {
+	m   model.Model
+	bg  *explain.Background
+	cfg Config
+}
+
+// New builds an Anchor explainer over the given model and background
+// distribution.
+func New(m model.Model, bg *explain.Background, cfg Config) *Explainer {
+	return &Explainer{m: m, bg: bg, cfg: cfg.normalize(bg.Schema.NumFeatures())}
+}
+
+// Name implements explain.Explainer.
+func (e *Explainer) Name() string { return "Anchor" }
+
+// candidate tracks sampling statistics for one anchor.
+type candidate struct {
+	keep    []bool
+	members core.Key
+	hits    int
+	n       int
+}
+
+func (c *candidate) mean() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.n)
+}
+
+// hoeffding returns the half-width of the (1−δ) confidence interval.
+func hoeffding(n int, delta float64) float64 {
+	if n == 0 {
+		return 1
+	}
+	return math.Sqrt(math.Log(2/delta) / (2 * float64(n)))
+}
+
+// Explain implements explain.Explainer.
+func (e *Explainer) Explain(x feature.Instance) (explain.Explanation, error) {
+	if err := e.bg.Schema.Validate(x); err != nil {
+		return explain.Explanation{}, err
+	}
+	rng := rand.New(rand.NewSource(e.cfg.Seed))
+	target := e.m.Predict(x)
+	n := e.bg.Schema.NumFeatures()
+
+	beam := []*candidate{{keep: make([]bool, n), members: core.Key{}}}
+	var best *candidate
+
+	for size := 1; size <= e.cfg.MaxAnchor; size++ {
+		// Expand: every beam member × every absent feature.
+		var cands []*candidate
+		seen := map[string]bool{}
+		for _, b := range beam {
+			for a := 0; a < n; a++ {
+				if b.keep[a] {
+					continue
+				}
+				nc := &candidate{keep: append([]bool(nil), b.keep...), members: b.members.With(a)}
+				nc.keep[a] = true
+				sig := fmt.Sprint(nc.members)
+				if seen[sig] {
+					continue
+				}
+				seen[sig] = true
+				cands = append(cands, nc)
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		// UCB evaluation rounds: sample the candidate with the highest upper
+		// bound until budgets are spent.
+		budget := e.cfg.MaxBatches * len(cands)
+		for round := 0; round < budget; round++ {
+			sort.Slice(cands, func(i, j int) bool {
+				ui := cands[i].mean() + hoeffding(cands[i].n, e.cfg.Delta)
+				uj := cands[j].mean() + hoeffding(cands[j].n, e.cfg.Delta)
+				return ui > uj
+			})
+			c := cands[0]
+			if c.n >= e.cfg.BatchSize*e.cfg.MaxBatches {
+				break // best candidate fully sampled
+			}
+			e.sampleBatch(rng, c, x, target)
+			// Early accept: precision lower bound clears τ.
+			if c.mean()-hoeffding(c.n, e.cfg.Delta) >= e.cfg.Tau {
+				return explain.Explanation{Features: c.members.Clone()}, nil
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].mean() > cands[j].mean() })
+		if best == nil || cands[0].mean() > best.mean() {
+			best = cands[0]
+		}
+		if cands[0].mean() >= e.cfg.Tau {
+			return explain.Explanation{Features: cands[0].members.Clone()}, nil
+		}
+		if len(cands) > e.cfg.BeamWidth {
+			cands = cands[:e.cfg.BeamWidth]
+		}
+		beam = cands
+	}
+	if best == nil {
+		return explain.Explanation{Features: core.Key{}}, nil
+	}
+	return explain.Explanation{Features: best.members.Clone()}, nil
+}
+
+func (e *Explainer) sampleBatch(rng *rand.Rand, c *candidate, x feature.Instance, target feature.Label) {
+	for i := 0; i < e.cfg.BatchSize; i++ {
+		z := e.bg.Perturb(rng, x, c.keep, e.cfg.RowFrac)
+		if e.m.Predict(z) == target {
+			c.hits++
+		}
+		c.n++
+	}
+}

@@ -1,0 +1,128 @@
+package anchor
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/xai-db/relativekeys/internal/explain"
+	"github.com/xai-db/relativekeys/internal/feature"
+	"github.com/xai-db/relativekeys/internal/model"
+)
+
+// fixture: the model depends only on features 0 and 1 (AND of two tests);
+// features 2..n-1 are noise.
+func fixture(t testing.TB, n int, seed int64) (*feature.Schema, model.Model, *explain.Background) {
+	t.Helper()
+	attrs := make([]feature.Attribute, n)
+	for i := range attrs {
+		attrs[i] = feature.Attribute{Name: string(rune('A' + i)), Values: []string{"v0", "v1", "v2"}}
+	}
+	s := feature.MustSchema(attrs, []string{"neg", "pos"})
+	m := model.FuncModel{Fn: func(x feature.Instance) feature.Label {
+		if x[0] == 1 && x[1] == 2 {
+			return 1
+		}
+		return 0
+	}, Labels: 2}
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]feature.Instance, 500)
+	for i := range rows {
+		x := make(feature.Instance, n)
+		for a := range x {
+			x[a] = feature.Value(rng.Intn(3))
+		}
+		rows[i] = x
+	}
+	bg, err := explain.NewBackground(s, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, m, bg
+}
+
+func TestAnchorFindsCausalFeatures(t *testing.T) {
+	s, m, bg := fixture(t, 5, 1)
+	_ = s
+	e := New(m, bg, Config{Seed: 3})
+	// Positive instance: anchor must contain both causal features.
+	x := feature.Instance{1, 2, 0, 1, 2}
+	exp, err := e.Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exp.Features.Contains(0) || !exp.Features.Contains(1) {
+		t.Fatalf("anchor %v misses causal features {0,1}", exp.Features)
+	}
+	if exp.Scores != nil {
+		t.Fatal("anchor must not output scores")
+	}
+	if e.Name() != "Anchor" {
+		t.Fatal("Name wrong")
+	}
+}
+
+func TestAnchorHighPrecisionAnchor(t *testing.T) {
+	_, m, bg := fixture(t, 4, 2)
+	e := New(m, bg, Config{Tau: 0.9, Seed: 5})
+	x := feature.Instance{1, 2, 1, 1}
+	exp, err := e.Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empirically check the anchor's precision with fresh perturbations.
+	rng := rand.New(rand.NewSource(11))
+	keep := make([]bool, 4)
+	for _, a := range exp.Features {
+		keep[a] = true
+	}
+	hits := 0
+	const nSamp = 500
+	for i := 0; i < nSamp; i++ {
+		z := bg.Perturb(rng, x, keep, 0.5)
+		if m.Predict(z) == m.Predict(x) {
+			hits++
+		}
+	}
+	if prec := float64(hits) / nSamp; prec < 0.85 {
+		t.Fatalf("anchor precision %.3f below requested 0.9 (tolerance)", prec)
+	}
+}
+
+func TestAnchorValidatesInstance(t *testing.T) {
+	_, m, bg := fixture(t, 3, 3)
+	e := New(m, bg, Config{})
+	if _, err := e.Explain(feature.Instance{0}); err == nil {
+		t.Fatal("bad instance accepted")
+	}
+}
+
+func TestAnchorNegativeClass(t *testing.T) {
+	_, m, bg := fixture(t, 4, 4)
+	e := New(m, bg, Config{Seed: 7})
+	// A strongly negative instance: x[0]=0 alone implies neg.
+	x := feature.Instance{0, 2, 1, 1}
+	exp, err := e.Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixing feature 0 at value 0 suffices: the anchor should be small.
+	if len(exp.Features) > 2 {
+		t.Fatalf("anchor %v larger than expected for an easy negative", exp.Features)
+	}
+}
+
+func TestAnchorDeterministicWithSeed(t *testing.T) {
+	_, m, bg := fixture(t, 4, 5)
+	x := feature.Instance{1, 2, 0, 0}
+	a1, err := New(m, bg, Config{Seed: 9}).Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := New(m, bg, Config{Seed: 9}).Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a1.Features.Equal(a2.Features) {
+		t.Fatal("same seed must reproduce the same anchor")
+	}
+}

@@ -1,0 +1,139 @@
+// Package explain defines the common interface of the seven baseline
+// explainers of §7.1 (Table 2) and the utilities they share: the background
+// perturbation distribution and the importance-scores → feature-explanation
+// derivation of [Afchar et al.], which the paper uses to compare importance
+// methods with feature explanations at equal succinctness.
+package explain
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/xai-db/relativekeys/internal/core"
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+// Explanation is the result of explaining one instance. Feature-explanation
+// methods (Anchor, Xreason, CCE) fill Features; feature-importance methods
+// (LIME, SHAP, GAM, CERTA) fill Scores and derive Features on demand.
+type Explanation struct {
+	Features core.Key  // rule-based explanation E
+	Scores   []float64 // per-feature importance, nil for rule-based methods
+}
+
+// Explainer explains individual instances of a fixed model.
+type Explainer interface {
+	// Name identifies the method (for experiment tables).
+	Name() string
+	// Explain produces an explanation for x.
+	Explain(x feature.Instance) (Explanation, error)
+}
+
+// DeriveKey converts importance scores into a feature explanation of the
+// requested size by picking the features with the largest absolute scores
+// (the derivation of §7.1 following [13]).
+func DeriveKey(scores []float64, size int) core.Key {
+	if size < 0 {
+		size = 0
+	}
+	if size > len(scores) {
+		size = len(scores)
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return abs(scores[idx[a]]) > abs(scores[idx[b]])
+	})
+	return core.NewKey(idx[:size]...)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Background is the sampling distribution used by perturbation-based methods
+// (LIME, SHAP, Anchor, CERTA): per-feature empirical marginals plus whole
+// rows from a reference set, as the Python implementations do with the
+// training data.
+type Background struct {
+	Schema *feature.Schema
+	rows   []feature.Instance
+	// marginals[a][v] is the empirical frequency of value v for feature a.
+	marginals [][]float64
+}
+
+// NewBackground builds the perturbation distribution from reference rows.
+func NewBackground(schema *feature.Schema, rows []feature.Instance) (*Background, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("explain: background needs at least one row")
+	}
+	b := &Background{Schema: schema, rows: rows}
+	b.marginals = make([][]float64, schema.NumFeatures())
+	for a := range b.marginals {
+		b.marginals[a] = make([]float64, schema.Attrs[a].Cardinality())
+	}
+	for _, x := range rows {
+		if err := schema.Validate(x); err != nil {
+			return nil, err
+		}
+		for a, v := range x {
+			b.marginals[a][v]++
+		}
+	}
+	inv := 1 / float64(len(rows))
+	for a := range b.marginals {
+		for v := range b.marginals[a] {
+			b.marginals[a][v] *= inv
+		}
+	}
+	return b, nil
+}
+
+// SampleValue draws a value for feature a from the marginal distribution.
+func (b *Background) SampleValue(r *rand.Rand, a int) feature.Value {
+	t := r.Float64()
+	for v, p := range b.marginals[a] {
+		t -= p
+		if t <= 0 {
+			return feature.Value(v)
+		}
+	}
+	return feature.Value(len(b.marginals[a]) - 1)
+}
+
+// SampleRow returns a random reference row (not a copy).
+func (b *Background) SampleRow(r *rand.Rand) feature.Instance {
+	return b.rows[r.Intn(len(b.rows))]
+}
+
+// Perturb returns a copy of x with the features outside keep replaced: with
+// probability rowFrac all replaced values come from one reference row
+// (respecting feature associations), otherwise each is drawn independently
+// from the marginals.
+func (b *Background) Perturb(r *rand.Rand, x feature.Instance, keep []bool, rowFrac float64) feature.Instance {
+	out := x.Clone()
+	if r.Float64() < rowFrac {
+		row := b.SampleRow(r)
+		for a := range out {
+			if !keep[a] {
+				out[a] = row[a]
+			}
+		}
+		return out
+	}
+	for a := range out {
+		if !keep[a] {
+			out[a] = b.SampleValue(r, a)
+		}
+	}
+	return out
+}
+
+// Rows exposes the reference rows (shared, not copied).
+func (b *Background) Rows() []feature.Instance { return b.rows }

@@ -1,0 +1,103 @@
+package explain
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+func testSchema(t testing.TB) *feature.Schema {
+	t.Helper()
+	return feature.MustSchema([]feature.Attribute{
+		{Name: "A", Values: []string{"a0", "a1"}},
+		{Name: "B", Values: []string{"b0", "b1", "b2"}},
+		{Name: "C", Values: []string{"c0", "c1"}},
+	}, []string{"neg", "pos"})
+}
+
+func TestDeriveKey(t *testing.T) {
+	scores := []float64{0.1, -0.9, 0.5}
+	if got := DeriveKey(scores, 2); !got.Equal([]int{1, 2}) {
+		t.Fatalf("DeriveKey = %v, want [1 2]", got)
+	}
+	if got := DeriveKey(scores, 0); len(got) != 0 {
+		t.Fatalf("DeriveKey(0) = %v", got)
+	}
+	if got := DeriveKey(scores, 10); len(got) != 3 {
+		t.Fatalf("DeriveKey(10) = %v", got)
+	}
+	if got := DeriveKey(scores, -1); len(got) != 0 {
+		t.Fatalf("DeriveKey(-1) = %v", got)
+	}
+}
+
+func TestBackgroundValidation(t *testing.T) {
+	s := testSchema(t)
+	if _, err := NewBackground(s, nil); err == nil {
+		t.Fatal("empty background accepted")
+	}
+	if _, err := NewBackground(s, []feature.Instance{{0}}); err == nil {
+		t.Fatal("invalid row accepted")
+	}
+}
+
+func TestBackgroundSampling(t *testing.T) {
+	s := testSchema(t)
+	rows := []feature.Instance{
+		{0, 0, 0}, {0, 0, 0}, {0, 0, 0}, {1, 2, 1},
+	}
+	bg, err := NewBackground(s, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	count0 := 0
+	const draws = 2000
+	for i := 0; i < draws; i++ {
+		v := bg.SampleValue(rng, 0)
+		if v == 0 {
+			count0++
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("sampled value %d out of domain", v)
+		}
+	}
+	// Marginal of A: 75% a0.
+	frac := float64(count0) / draws
+	if frac < 0.70 || frac > 0.80 {
+		t.Fatalf("marginal sampling frequency %.3f, want ≈0.75", frac)
+	}
+	row := bg.SampleRow(rng)
+	if err := s.Validate(row); err != nil {
+		t.Fatal(err)
+	}
+	if len(bg.Rows()) != 4 {
+		t.Fatal("Rows accessor wrong")
+	}
+}
+
+func TestPerturbKeepsFixedFeatures(t *testing.T) {
+	s := testSchema(t)
+	rows := []feature.Instance{{0, 0, 0}, {1, 1, 1}, {1, 2, 0}}
+	bg, err := NewBackground(s, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	x := feature.Instance{1, 2, 1}
+	keep := []bool{true, false, true}
+	for trial := 0; trial < 200; trial++ {
+		z := bg.Perturb(rng, x, keep, 0.5)
+		if z[0] != x[0] || z[2] != x[2] {
+			t.Fatalf("kept features changed: %v", z)
+		}
+		if err := s.Validate(z); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Perturb must not mutate x.
+	if !x.Equal(feature.Instance{1, 2, 1}) {
+		t.Fatal("Perturb mutated the input")
+	}
+}

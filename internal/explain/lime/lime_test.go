@@ -1,0 +1,108 @@
+package lime
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/xai-db/relativekeys/internal/explain"
+	"github.com/xai-db/relativekeys/internal/feature"
+	"github.com/xai-db/relativekeys/internal/model"
+)
+
+func fixture(t testing.TB, n int, seed int64) (*feature.Schema, model.Model, *explain.Background) {
+	t.Helper()
+	attrs := make([]feature.Attribute, n)
+	for i := range attrs {
+		attrs[i] = feature.Attribute{Name: string(rune('A' + i)), Values: []string{"v0", "v1", "v2"}}
+	}
+	s := feature.MustSchema(attrs, []string{"neg", "pos"})
+	m := model.FuncModel{Fn: func(x feature.Instance) feature.Label {
+		if x[0] == 1 {
+			return 1
+		}
+		return 0
+	}, Labels: 2}
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]feature.Instance, 400)
+	for i := range rows {
+		x := make(feature.Instance, n)
+		for a := range x {
+			x[a] = feature.Value(rng.Intn(3))
+		}
+		rows[i] = x
+	}
+	bg, err := explain.NewBackground(s, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, m, bg
+}
+
+func TestLIMERanksCausalFeatureFirst(t *testing.T) {
+	_, m, bg := fixture(t, 5, 1)
+	e := New(m, bg, Config{Samples: 400, Seed: 2})
+	x := feature.Instance{1, 0, 2, 1, 0}
+	exp, err := e.Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Scores) != 5 {
+		t.Fatalf("got %d scores", len(exp.Scores))
+	}
+	top := explain.DeriveKey(exp.Scores, 1)
+	if !top.Contains(0) {
+		t.Fatalf("LIME top feature %v, want feature 0 (scores %v)", top, exp.Scores)
+	}
+	// The causal coefficient must be positive (keeping it preserves the
+	// prediction).
+	if exp.Scores[0] <= 0 {
+		t.Fatalf("causal coefficient %v not positive", exp.Scores[0])
+	}
+	if e.Name() != "LIME" {
+		t.Fatal("Name wrong")
+	}
+}
+
+func TestLIMEValidatesInstance(t *testing.T) {
+	_, m, bg := fixture(t, 3, 2)
+	e := New(m, bg, Config{})
+	if _, err := e.Explain(feature.Instance{0}); err == nil {
+		t.Fatal("bad instance accepted")
+	}
+}
+
+func TestLIMEDeterministicWithSeed(t *testing.T) {
+	_, m, bg := fixture(t, 4, 3)
+	x := feature.Instance{1, 1, 1, 1}
+	e1, err := New(m, bg, Config{Seed: 4}).Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := New(m, bg, Config{Seed: 4}).Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range e1.Scores {
+		if e1.Scores[i] != e2.Scores[i] {
+			t.Fatal("same seed must reproduce scores")
+		}
+	}
+}
+
+func TestLIMEIrrelevantFeaturesNearZero(t *testing.T) {
+	_, m, bg := fixture(t, 6, 5)
+	e := New(m, bg, Config{Samples: 600, Seed: 6})
+	x := feature.Instance{1, 2, 0, 1, 2, 0}
+	exp, err := e.Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 1; a < 6; a++ {
+		if abs := exp.Scores[a]; abs < 0 {
+			continue
+		}
+		if exp.Scores[a] > exp.Scores[0]/2 {
+			t.Fatalf("irrelevant feature %d has score %v vs causal %v", a, exp.Scores[a], exp.Scores[0])
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package shap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/xai-db/relativekeys/internal/explain"
+	"github.com/xai-db/relativekeys/internal/feature"
+	"github.com/xai-db/relativekeys/internal/model"
+)
+
+func fixture(t testing.TB, n int, seed int64) (*feature.Schema, model.Model, *explain.Background) {
+	t.Helper()
+	attrs := make([]feature.Attribute, n)
+	for i := range attrs {
+		attrs[i] = feature.Attribute{Name: string(rune('A' + i)), Values: []string{"v0", "v1"}}
+	}
+	s := feature.MustSchema(attrs, []string{"neg", "pos"})
+	m := model.FuncModel{Fn: func(x feature.Instance) feature.Label {
+		if x[0] == 1 && x[1] == 1 {
+			return 1
+		}
+		return 0
+	}, Labels: 2}
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]feature.Instance, 400)
+	for i := range rows {
+		x := make(feature.Instance, n)
+		for a := range x {
+			x[a] = feature.Value(rng.Intn(2))
+		}
+		rows[i] = x
+	}
+	bg, err := explain.NewBackground(s, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, m, bg
+}
+
+func TestSHAPIdentifiesCausalPair(t *testing.T) {
+	_, m, bg := fixture(t, 5, 1)
+	e := New(m, bg, Config{Samples: 500, Background: 6, Seed: 2})
+	x := feature.Instance{1, 1, 0, 1, 0}
+	exp, err := e.Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := explain.DeriveKey(exp.Scores, 2)
+	if !top.Contains(0) || !top.Contains(1) {
+		t.Fatalf("SHAP top-2 %v, want {0,1} (scores %v)", top, exp.Scores)
+	}
+	if e.Name() != "SHAP" {
+		t.Fatal("Name wrong")
+	}
+}
+
+func TestSHAPSymmetry(t *testing.T) {
+	// Features 0 and 1 are exchangeable in the model and the instance; their
+	// Shapley values must be approximately equal.
+	_, m, bg := fixture(t, 4, 3)
+	e := New(m, bg, Config{Samples: 1500, Background: 8, Seed: 4})
+	x := feature.Instance{1, 1, 0, 0}
+	exp, err := e.Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(exp.Scores[0] - exp.Scores[1]); d > 0.2 {
+		t.Fatalf("symmetric features have scores %v vs %v", exp.Scores[0], exp.Scores[1])
+	}
+}
+
+func TestSHAPValidatesInstance(t *testing.T) {
+	_, m, bg := fixture(t, 3, 5)
+	e := New(m, bg, Config{})
+	if _, err := e.Explain(feature.Instance{0}); err == nil {
+		t.Fatal("bad instance accepted")
+	}
+}
+
+func TestShapleyKernelWeight(t *testing.T) {
+	// Endpoints get the large constraint weight; interior is symmetric.
+	if shapleyKernelWeight(5, 0) != 1e6 || shapleyKernelWeight(5, 5) != 1e6 {
+		t.Fatal("endpoint weights wrong")
+	}
+	if w1, w4 := shapleyKernelWeight(5, 1), shapleyKernelWeight(5, 4); math.Abs(w1-w4) > 1e-12 {
+		t.Fatalf("kernel not symmetric: %v vs %v", w1, w4)
+	}
+	// Middle coalitions weigh less than extreme ones.
+	if shapleyKernelWeight(6, 3) >= shapleyKernelWeight(6, 1) {
+		t.Fatal("kernel not U-shaped")
+	}
+}
+
+func TestBinom(t *testing.T) {
+	cases := map[[2]int]float64{
+		{5, 0}: 1, {5, 5}: 1, {5, 2}: 10, {6, 3}: 20, {4, 7}: 0,
+	}
+	for in, want := range cases {
+		if got := binom(in[0], in[1]); got != want {
+			t.Errorf("binom(%d,%d) = %v, want %v", in[0], in[1], got, want)
+		}
+	}
+}

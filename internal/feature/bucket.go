@@ -1,0 +1,108 @@
+package feature
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Bucketer discretizes a numeric feature into k equal-width buckets over the
+// observed range, as the paper does for numeric attributes (§7.3, "impact of
+// numerical features"). The zero value is unusable; construct with
+// NewBucketer or FitBuckets.
+type Bucketer struct {
+	Lo, Hi float64
+	K      int
+}
+
+// NewBucketer builds a bucketer over [lo, hi] with k buckets.
+func NewBucketer(lo, hi float64, k int) (*Bucketer, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("feature: bucket count %d must be positive", k)
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) || lo > hi {
+		return nil, fmt.Errorf("feature: invalid bucket range [%v,%v]", lo, hi)
+	}
+	return &Bucketer{Lo: lo, Hi: hi, K: k}, nil
+}
+
+// FitBuckets builds a bucketer spanning the observed values.
+func FitBuckets(values []float64, k int) (*Bucketer, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("feature: cannot fit buckets on empty data")
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return NewBucketer(lo, hi, k)
+}
+
+// Bucket maps a numeric value to its bucket code in [0, K).
+func (b *Bucketer) Bucket(v float64) Value {
+	if b.Hi == b.Lo {
+		return 0
+	}
+	idx := int(float64(b.K) * (v - b.Lo) / (b.Hi - b.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= b.K {
+		idx = b.K - 1
+	}
+	return Value(idx)
+}
+
+// Labels returns human-readable bucket labels "[lo,hi)".
+func (b *Bucketer) Labels() []string {
+	out := make([]string, b.K)
+	w := (b.Hi - b.Lo) / float64(b.K)
+	for i := 0; i < b.K; i++ {
+		out[i] = fmt.Sprintf("[%.4g,%.4g)", b.Lo+float64(i)*w, b.Lo+float64(i+1)*w)
+	}
+	return out
+}
+
+// Attribute builds a discrete attribute for this bucketer.
+func (b *Bucketer) Attribute(name string) Attribute {
+	return Attribute{Name: name, Values: b.Labels()}
+}
+
+// QuantileBuckets returns k-1 cut points splitting values into k
+// (approximately) equal-frequency buckets. It is the alternative
+// discretization used by ablation benches.
+func QuantileBuckets(values []float64, k int) ([]float64, error) {
+	if k <= 1 {
+		return nil, fmt.Errorf("feature: quantile bucket count %d must exceed 1", k)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("feature: cannot fit quantiles on empty data")
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	cuts := make([]float64, 0, k-1)
+	for i := 1; i < k; i++ {
+		idx := i * len(sorted) / k
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		cuts = append(cuts, sorted[idx])
+	}
+	return cuts, nil
+}
+
+// BucketByCuts maps v to the index of the first cut greater than v.
+func BucketByCuts(cuts []float64, v float64) Value {
+	i := sort.SearchFloat64s(cuts, v)
+	// SearchFloat64s returns the insertion point; values equal to a cut go to
+	// the bucket above, matching half-open intervals.
+	for i < len(cuts) && cuts[i] == v {
+		i++
+	}
+	return Value(i)
+}

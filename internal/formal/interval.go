@@ -1,0 +1,57 @@
+package formal
+
+import (
+	"github.com/xai-db/relativekeys/internal/feature"
+	"github.com/xai-db/relativekeys/internal/model"
+)
+
+// intervalOracle answers counterexample queries for gradient-boosted
+// ensembles with sound interval arithmetic: for each tree it computes the
+// minimum and maximum leaf value reachable once the fixed features prune
+// branches, sums the per-tree bounds, and reports "no counterexample" only
+// when the whole score interval keeps the original prediction's sign. The
+// check is sound (a "safe" answer is formally correct over the entire
+// feature space) but incomplete: it may report a counterexample where none
+// exists, yielding larger — still perfectly conformant — explanations.
+type intervalOracle struct {
+	g      *model.GBDT
+	schema *feature.Schema
+}
+
+func (o *intervalOracle) exists(x feature.Instance, E []bool) (bool, error) {
+	lo, hi := o.g.Bias, o.g.Bias
+	for _, t := range o.g.Trees {
+		tl, th := boundTree(t.Root, x, E)
+		lo += o.g.Shrink * tl
+		hi += o.g.Shrink * th
+	}
+	pred := o.g.Predict(x)
+	if pred == 1 {
+		// Prediction stays 1 iff even the minimum score is ≥ 0.
+		return lo < 0, nil
+	}
+	return hi >= 0, nil
+}
+
+// boundTree returns the min and max leaf value reachable in the subtree given
+// that features marked fixed must equal x's values.
+func boundTree(n *model.TreeNode, x feature.Instance, E []bool) (lo, hi float64) {
+	if n.IsLeaf() {
+		return n.LeafValue, n.LeafValue
+	}
+	if E[n.Attr] {
+		if x[n.Attr] == n.Value {
+			return boundTree(n.Left, x, E)
+		}
+		return boundTree(n.Right, x, E)
+	}
+	ll, lh := boundTree(n.Left, x, E)
+	rl, rh := boundTree(n.Right, x, E)
+	if rl < ll {
+		ll = rl
+	}
+	if rh > lh {
+		lh = rh
+	}
+	return ll, lh
+}

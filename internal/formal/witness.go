@@ -1,0 +1,81 @@
+package formal
+
+import (
+	"fmt"
+
+	"github.com/xai-db/relativekeys/internal/feature"
+	"github.com/xai-db/relativekeys/internal/sat"
+)
+
+// witnessOracle is implemented by oracles that can exhibit an actual
+// counterexample instance, not just decide its existence.
+type witnessOracle interface {
+	witness(x feature.Instance, E []bool) (feature.Instance, bool, error)
+}
+
+// Counterexample returns an instance of the feature space that agrees with x
+// on every feature of key yet receives a different prediction, or ok=false
+// when the key is formally conformant. It turns "your explanation is not
+// formal" into an actionable artifact — the concrete instance that breaks it.
+// Only SAT-backed explainers (trees, forests) can produce witnesses; the
+// interval oracle for boosted ensembles is sound but cannot exhibit one.
+func (e *Explainer) Counterexample(x feature.Instance, key []int) (feature.Instance, bool, error) {
+	if err := e.schema.Validate(x); err != nil {
+		return nil, false, err
+	}
+	w, ok := e.oracle.(witnessOracle)
+	if !ok {
+		return nil, false, fmt.Errorf("formal: this explainer's oracle cannot produce witnesses")
+	}
+	E := make([]bool, e.schema.NumFeatures())
+	for _, a := range key {
+		if a < 0 || a >= len(E) {
+			return nil, false, fmt.Errorf("formal: feature index %d out of range", a)
+		}
+		E[a] = true
+	}
+	return w.witness(x, E)
+}
+
+// witness implements witnessOracle for the SAT oracle by decoding the model
+// of a satisfiable counterexample query.
+func (o *satOracle) witness(x feature.Instance, E []bool) (feature.Instance, bool, error) {
+	c := o.predict(x)
+	s, ok := o.solvers[c]
+	if !ok {
+		var fv [][]int
+		var err error
+		s, fv, err = o.build(c)
+		if err != nil {
+			return nil, false, err
+		}
+		o.solvers[c] = s
+		o.featVars[c] = fv
+	}
+	fv := o.featVars[c]
+	assumps := make([]sat.Lit, 0, len(x))
+	for a, fixed := range E {
+		if fixed {
+			assumps = append(assumps, sat.Lit(fv[a][x[a]]))
+		}
+	}
+	model, satisfiable := s.SolveModel(assumps...)
+	if !satisfiable {
+		return nil, false, nil
+	}
+	z := make(feature.Instance, len(x))
+	for a := range z {
+		found := false
+		for v, varID := range fv[a] {
+			if model[varID-1] {
+				z[a] = feature.Value(v)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false, fmt.Errorf("formal: SAT model assigns no value to feature %d", a)
+		}
+	}
+	return z, true, nil
+}

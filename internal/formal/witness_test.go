@@ -1,0 +1,89 @@
+package formal
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/xai-db/relativekeys/internal/core"
+	"github.com/xai-db/relativekeys/internal/feature"
+	"github.com/xai-db/relativekeys/internal/model"
+)
+
+func TestCounterexampleWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := smallSchema(t, 3, 3, 2, 2)
+	data := randomTraining(rng, s, 400)
+	f, err := model.TrainForest(s, data, model.ForestConfig{NumTrees: 5, MaxDepth: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewForestExplainer(f, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		x := data[rng.Intn(len(data))].X
+		key, err := ex.ExplainKey(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The full formal key admits no counterexample.
+		if _, ok, err := ex.Counterexample(x, key); err != nil || ok {
+			t.Fatalf("trial %d: conformant key has a witness (ok=%v err=%v)", trial, ok, err)
+		}
+		// Removing any feature must expose a concrete witness (the key is
+		// subset-minimal) and the witness must actually break conformity.
+		for i := range key {
+			reduced := append(append(core.Key{}, key[:i]...), key[i+1:]...)
+			z, ok, err := ex.Counterexample(x, reduced)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("trial %d: minimal key remained conformant after dropping %d", trial, key[i])
+			}
+			if !z.AgreesOn(x, reduced) {
+				t.Fatalf("trial %d: witness disagrees on the fixed features", trial)
+			}
+			if f.Predict(z) == f.Predict(x) {
+				t.Fatalf("trial %d: witness has the same prediction", trial)
+			}
+		}
+	}
+}
+
+func TestCounterexampleValidation(t *testing.T) {
+	s := smallSchema(t, 2, 2)
+	tree := &model.Tree{Root: &model.TreeNode{Attr: -1, Leaf: 0}}
+	ex, err := NewTreeExplainer(tree, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ex.Counterexample(feature.Instance{0}, nil); err == nil {
+		t.Fatal("bad instance accepted")
+	}
+	if _, _, err := ex.Counterexample(feature.Instance{0, 0}, []int{9}); err == nil {
+		t.Fatal("out-of-range feature accepted")
+	}
+	// Constant model: no counterexample even with the empty key.
+	if _, ok, err := ex.Counterexample(feature.Instance{0, 0}, nil); err != nil || ok {
+		t.Fatalf("constant model produced a witness: %v %v", ok, err)
+	}
+}
+
+func TestCounterexampleIntervalOracleUnsupported(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	s := smallSchema(t, 2, 2, 2)
+	data := randomTraining(rng, s, 200)
+	g, err := model.TrainGBDT(s, data, model.GBDTConfig{Rounds: 5, MaxDepth: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewGBDTExplainer(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ex.Counterexample(data[0].X, nil); err == nil {
+		t.Fatal("interval oracle must report witnesses as unsupported")
+	}
+}

@@ -1,0 +1,109 @@
+// Package linalg provides the small dense linear-algebra kernel shared by the
+// LIME and SHAP baselines: weighted ridge regression solved by Gaussian
+// elimination with partial pivoting.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Solve solves A·x = b in place for a square system using Gaussian
+// elimination with partial pivoting. A and b are overwritten.
+func Solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("linalg: bad system dimensions %dx%d vs %d", n, n, len(b))
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("linalg: row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if abs(a[r][col]) > abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if abs(a[piv][col]) < 1e-12 {
+			return nil, errors.New("linalg: singular system")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}
+
+// WeightedRidge fits coefficients β (including an intercept as the last
+// element) minimizing Σ wᵢ(yᵢ − xᵢ·β)² + λ‖β‖² over rows X (n×d), via the
+// normal equations. Returns a slice of length d+1: d feature coefficients
+// followed by the intercept (unregularized).
+func WeightedRidge(X [][]float64, y, w []float64, lambda float64) ([]float64, error) {
+	n := len(X)
+	if n == 0 || len(y) != n || len(w) != n {
+		return nil, fmt.Errorf("linalg: ridge needs aligned non-empty X/y/w (%d/%d/%d)", n, len(y), len(w))
+	}
+	d := len(X[0])
+	dim := d + 1
+	ata := make([][]float64, dim)
+	for i := range ata {
+		ata[i] = make([]float64, dim)
+	}
+	atb := make([]float64, dim)
+	xi := make([]float64, dim)
+	for r := 0; r < n; r++ {
+		if len(X[r]) != d {
+			return nil, fmt.Errorf("linalg: ragged design matrix at row %d", r)
+		}
+		copy(xi, X[r])
+		xi[d] = 1 // intercept column
+		wr := w[r]
+		for i := 0; i < dim; i++ {
+			wxi := wr * xi[i]
+			for j := i; j < dim; j++ {
+				ata[i][j] += wxi * xi[j]
+			}
+			atb[i] += wxi * y[r]
+		}
+	}
+	for i := 0; i < dim; i++ {
+		for j := 0; j < i; j++ {
+			ata[i][j] = ata[j][i]
+		}
+	}
+	for i := 0; i < d; i++ { // do not regularize the intercept
+		ata[i][i] += lambda
+	}
+	// Tiny jitter keeps the intercept row nonsingular for degenerate inputs.
+	ata[d][d] += 1e-12
+	return Solve(ata, atb)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,131 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("singular system accepted")
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(nil, nil); err == nil {
+		t.Fatal("empty system accepted")
+	}
+	if _, err := Solve([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, err := Solve([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+}
+
+func TestSolveRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(8)
+		a := make([][]float64, n)
+		orig := make([][]float64, n)
+		xTrue := make([]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			orig[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.NormFloat64()
+				orig[i][j] = a[i][j]
+			}
+			a[i][i] += float64(n) // diagonally dominant → nonsingular
+			orig[i][i] = a[i][i]
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		for i := range b {
+			for j := range xTrue {
+				b[i] += orig[i][j] * xTrue[j]
+			}
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestWeightedRidgeRecoversLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, d := 300, 4
+	beta := []float64{2, -1, 0.5, 3}
+	intercept := -0.7
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	w := make([]float64, n)
+	for i := range X {
+		X[i] = make([]float64, d)
+		y[i] = intercept
+		for j := range X[i] {
+			X[i][j] = rng.NormFloat64()
+			y[i] += beta[j] * X[i][j]
+		}
+		w[i] = 0.5 + rng.Float64()
+	}
+	coef, err := WeightedRidge(X, y, w, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range beta {
+		if math.Abs(coef[j]-beta[j]) > 1e-6 {
+			t.Fatalf("coef[%d] = %v, want %v", j, coef[j], beta[j])
+		}
+	}
+	if math.Abs(coef[d]-intercept) > 1e-6 {
+		t.Fatalf("intercept = %v, want %v", coef[d], intercept)
+	}
+}
+
+func TestWeightedRidgeRegularization(t *testing.T) {
+	// With huge λ coefficients must shrink toward zero.
+	X := [][]float64{{1}, {2}, {3}}
+	y := []float64{1, 2, 3}
+	w := []float64{1, 1, 1}
+	coef, err := WeightedRidge(X, y, w, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coef[0]) > 1e-3 {
+		t.Fatalf("coef not shrunk: %v", coef)
+	}
+}
+
+func TestWeightedRidgeValidation(t *testing.T) {
+	if _, err := WeightedRidge(nil, nil, nil, 0); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := WeightedRidge([][]float64{{1}}, []float64{1}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("misaligned weights accepted")
+	}
+	if _, err := WeightedRidge([][]float64{{1, 2}, {1}}, []float64{1, 1}, []float64{1, 1}, 0.1); err == nil {
+		t.Fatal("ragged X accepted")
+	}
+}

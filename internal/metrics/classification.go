@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"fmt"
+
+	"github.com/xai-db/relativekeys/internal/feature"
+	"github.com/xai-db/relativekeys/internal/model"
+)
+
+// Classification-quality measures for the trained substrate models — the
+// paper validates its entity matcher (Ditto) by match F1; these utilities let
+// the experiments and examples do the same for the stand-in models.
+
+// Confusion is a binary confusion matrix (positive class = label 1).
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// ConfusionMatrix evaluates m against ground-truth labels.
+func ConfusionMatrix(m model.Model, data []feature.Labeled) (Confusion, error) {
+	if len(data) == 0 {
+		return Confusion{}, fmt.Errorf("metrics: empty evaluation set")
+	}
+	var c Confusion
+	for _, d := range data {
+		pred := m.Predict(d.X)
+		switch {
+		case pred == 1 && d.Y == 1:
+			c.TP++
+		case pred == 1 && d.Y == 0:
+			c.FP++
+		case pred == 0 && d.Y == 0:
+			c.TN++
+		default:
+			c.FN++
+		}
+	}
+	return c, nil
+}
+
+// Accuracy returns (TP+TN)/total.
+func (c Confusion) Accuracy() float64 {
+	total := c.TP + c.FP + c.TN + c.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// PrecisionPos returns TP/(TP+FP), or 0 when undefined.
+func (c Confusion) PrecisionPos() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// RecallPos returns TP/(TP+FN), or 0 when undefined.
+func (c Confusion) RecallPos() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of positive precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.PrecisionPos(), c.RecallPos()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}

@@ -1,0 +1,98 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+// Additive is a generalized additive model over one-hot encoded discrete
+// features, trained with logistic loss by SGD. Because the score is a sum of
+// one weight per (feature, value) pair, the model is additive by
+// construction: the contribution of feature i to an instance is exactly
+// Weights[i][x[i]]. The GAM baseline explainer (§7.1) reads contributions
+// straight off a trained Additive model.
+type Additive struct {
+	Bias    float64
+	Weights [][]float64 // [attr][value] logit contribution
+	nLabels int
+}
+
+// AdditiveConfig controls SGD training.
+type AdditiveConfig struct {
+	Epochs int     // default 30
+	LR     float64 // default 0.1
+	L2     float64 // default 1e-4
+	Seed   int64
+}
+
+func (c AdditiveConfig) normalize() AdditiveConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 30
+	}
+	if c.LR <= 0 {
+		c.LR = 0.1
+	}
+	if c.L2 < 0 {
+		c.L2 = 0
+	}
+	return c
+}
+
+// TrainAdditive fits the model on binary-labeled data.
+func TrainAdditive(schema *feature.Schema, data []feature.Labeled, cfg AdditiveConfig) (*Additive, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("model: cannot train additive model on empty data")
+	}
+	if len(schema.Labels) != 2 {
+		return nil, fmt.Errorf("model: additive model requires binary labels, got %d", len(schema.Labels))
+	}
+	cfg = cfg.normalize()
+	m := &Additive{nLabels: 2, Weights: make([][]float64, schema.NumFeatures())}
+	for i, a := range schema.Attrs {
+		m.Weights[i] = make([]float64, a.Cardinality())
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(len(data))
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		lr := cfg.LR / (1 + 0.1*float64(epoch))
+		for _, i := range order {
+			d := data[i]
+			p := sigmoid(m.Score(d.X))
+			g := p - float64(d.Y)
+			m.Bias -= lr * g
+			for a, v := range d.X {
+				w := m.Weights[a][v]
+				m.Weights[a][v] = w - lr*(g+cfg.L2*w)
+			}
+		}
+	}
+	return m, nil
+}
+
+// Score returns the logit for x.
+func (m *Additive) Score(x feature.Instance) float64 {
+	s := m.Bias
+	for a, v := range x {
+		s += m.Weights[a][v]
+	}
+	return s
+}
+
+// Contribution returns feature a's additive logit contribution for x.
+func (m *Additive) Contribution(x feature.Instance, a int) float64 {
+	return m.Weights[a][x[a]]
+}
+
+// Predict returns 1 iff the logit is non-negative.
+func (m *Additive) Predict(x feature.Instance) feature.Label {
+	if m.Score(x) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// NumLabels returns 2.
+func (m *Additive) NumLabels() int { return m.nLabels }

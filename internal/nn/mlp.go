@@ -1,0 +1,165 @@
+// Package nn implements a small multilayer perceptron with manual
+// backpropagation. It stands in for Ditto, the transformer-based entity
+// matching model of §7.1/§7.5: a black-box DNN whose structure formal
+// explainers such as Xreason cannot exploit, forcing them out of the
+// entity-matching experiments exactly as in the paper.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+// MLP is a one-hidden-layer network over one-hot encoded discrete features
+// with a sigmoid output for binary classification.
+type MLP struct {
+	schema  *feature.Schema
+	offsets []int // one-hot offset per attribute
+	inDim   int
+	hidden  int
+
+	w1 [][]float64 // [hidden][inDim]
+	b1 []float64
+	w2 []float64 // [hidden]
+	b2 float64
+}
+
+// Config controls MLP training.
+type Config struct {
+	Hidden int     // hidden units, default 16
+	Epochs int     // default 40
+	LR     float64 // default 0.05
+	Seed   int64
+}
+
+func (c Config) normalize() Config {
+	if c.Hidden <= 0 {
+		c.Hidden = 16
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 40
+	}
+	if c.LR <= 0 {
+		c.LR = 0.05
+	}
+	return c
+}
+
+// Train fits an MLP on binary-labeled data.
+func Train(schema *feature.Schema, data []feature.Labeled, cfg Config) (*MLP, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("nn: cannot train on empty data")
+	}
+	if len(schema.Labels) != 2 {
+		return nil, fmt.Errorf("nn: binary labels required, got %d", len(schema.Labels))
+	}
+	cfg = cfg.normalize()
+	m := newMLP(schema, cfg.Hidden, cfg.Seed)
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	order := make([]int, len(data))
+	for i := range order {
+		order[i] = i
+	}
+	h := make([]float64, m.hidden)
+	dh := make([]float64, m.hidden)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		lr := cfg.LR / (1 + 0.05*float64(epoch))
+		for _, i := range order {
+			d := data[i]
+			p := m.forward(d.X, h)
+			g := p - float64(d.Y) // dL/dz2 for logistic loss
+			// Output layer.
+			m.b2 -= lr * g
+			for j := 0; j < m.hidden; j++ {
+				dh[j] = g * m.w2[j] * reluGrad(h[j])
+				m.w2[j] -= lr * g * h[j]
+			}
+			// Hidden layer: input is one-hot, so only n columns update.
+			for j := 0; j < m.hidden; j++ {
+				m.b1[j] -= lr * dh[j]
+				for a, v := range d.X {
+					m.w1[j][m.offsets[a]+int(v)] -= lr * dh[j]
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+func newMLP(schema *feature.Schema, hidden int, seed int64) *MLP {
+	m := &MLP{schema: schema, hidden: hidden}
+	m.offsets = make([]int, schema.NumFeatures())
+	dim := 0
+	for i, a := range schema.Attrs {
+		m.offsets[i] = dim
+		dim += a.Cardinality()
+	}
+	m.inDim = dim
+	rng := rand.New(rand.NewSource(seed))
+	scale := math.Sqrt(2.0 / float64(dim+1))
+	m.w1 = make([][]float64, hidden)
+	for j := range m.w1 {
+		m.w1[j] = make([]float64, dim)
+		for k := range m.w1[j] {
+			m.w1[j][k] = rng.NormFloat64() * scale
+		}
+	}
+	m.b1 = make([]float64, hidden)
+	m.w2 = make([]float64, hidden)
+	for j := range m.w2 {
+		m.w2[j] = rng.NormFloat64() * math.Sqrt(2.0/float64(hidden))
+	}
+	return m
+}
+
+// forward computes the positive-class probability, filling h with hidden
+// activations (post-ReLU).
+func (m *MLP) forward(x feature.Instance, h []float64) float64 {
+	for j := 0; j < m.hidden; j++ {
+		z := m.b1[j]
+		for a, v := range x {
+			z += m.w1[j][m.offsets[a]+int(v)]
+		}
+		if z < 0 {
+			z = 0
+		}
+		h[j] = z
+	}
+	z2 := m.b2
+	for j, hj := range h {
+		z2 += m.w2[j] * hj
+	}
+	return 1 / (1 + math.Exp(-z2))
+}
+
+func reluGrad(post float64) float64 {
+	if post > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Prob returns the positive-class probability for x.
+func (m *MLP) Prob(x feature.Instance) float64 {
+	h := make([]float64, m.hidden)
+	return m.forward(x, h)
+}
+
+// Score returns the positive-class probability (satisfies model.Scorer).
+func (m *MLP) Score(x feature.Instance) float64 { return m.Prob(x) }
+
+// Predict returns 1 iff the probability is at least 0.5.
+func (m *MLP) Predict(x feature.Instance) feature.Label {
+	if m.Prob(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// NumLabels returns 2.
+func (m *MLP) NumLabels() int { return 2 }

@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+func xorData(t testing.TB, n int, seed int64) (*feature.Schema, []feature.Labeled) {
+	t.Helper()
+	schema := feature.MustSchema([]feature.Attribute{
+		{Name: "A", Values: []string{"0", "1"}},
+		{Name: "B", Values: []string{"0", "1"}},
+		{Name: "C", Values: []string{"0", "1", "2"}},
+	}, []string{"neg", "pos"})
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]feature.Labeled, n)
+	for i := range data {
+		x := feature.Instance{
+			feature.Value(rng.Intn(2)),
+			feature.Value(rng.Intn(2)),
+			feature.Value(rng.Intn(3)),
+		}
+		y := feature.Label(0)
+		if x[0] != x[1] { // XOR: not linearly separable
+			y = 1
+		}
+		data[i] = feature.Labeled{X: x, Y: y}
+	}
+	return schema, data
+}
+
+func TestMLPLearnsXOR(t *testing.T) {
+	schema, data := xorData(t, 1500, 42)
+	m, err := Train(schema, data, Config{Hidden: 12, Epochs: 60, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for _, d := range data {
+		if m.Predict(d.X) == d.Y {
+			ok++
+		}
+	}
+	if acc := float64(ok) / float64(len(data)); acc < 0.95 {
+		t.Fatalf("MLP XOR accuracy = %.3f, want ≥0.95", acc)
+	}
+}
+
+func TestMLPProbPredictConsistent(t *testing.T) {
+	schema, data := xorData(t, 300, 1)
+	m, err := Train(schema, data, Config{Hidden: 8, Epochs: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range data[:50] {
+		p := m.Prob(d.X)
+		if p < 0 || p > 1 {
+			t.Fatalf("prob %v out of range", p)
+		}
+		if (p >= 0.5) != (m.Predict(d.X) == 1) {
+			t.Fatal("Prob and Predict disagree")
+		}
+		if m.Score(d.X) != p {
+			t.Fatal("Score must equal Prob")
+		}
+	}
+	if m.NumLabels() != 2 {
+		t.Fatal("NumLabels wrong")
+	}
+}
+
+func TestMLPValidation(t *testing.T) {
+	schema, data := xorData(t, 10, 1)
+	if _, err := Train(schema, nil, Config{}); err == nil {
+		t.Fatal("expected error on empty data")
+	}
+	multi := feature.MustSchema(schema.Attrs, []string{"a", "b", "c"})
+	if _, err := Train(multi, data, Config{}); err == nil {
+		t.Fatal("expected error on non-binary labels")
+	}
+}
+
+func TestMLPDeterministicWithSeed(t *testing.T) {
+	schema, data := xorData(t, 400, 5)
+	m1, err := Train(schema, data, Config{Hidden: 6, Epochs: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(schema, data, Config{Hidden: 6, Epochs: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range data[:100] {
+		if m1.Prob(d.X) != m2.Prob(d.X) {
+			t.Fatal("same seed must produce identical models")
+		}
+	}
+}

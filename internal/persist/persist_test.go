@@ -1,0 +1,128 @@
+package persist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/xai-db/relativekeys/internal/core"
+	"github.com/xai-db/relativekeys/internal/dataset"
+	"github.com/xai-db/relativekeys/internal/feature"
+	"github.com/xai-db/relativekeys/internal/model"
+)
+
+func fixtures(t *testing.T) (*dataset.Dataset, *core.Context, *model.Forest, *model.GBDT) {
+	t.Helper()
+	ds, err := dataset.Load("loan", dataset.Options{Size: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := model.TrainForest(ds.Schema, ds.Train(), model.ForestConfig{NumTrees: 7, MaxDepth: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := model.TrainGBDT(ds.Schema, ds.Train(), model.GBDTConfig{Rounds: 10, MaxDepth: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var items []feature.Labeled
+	for _, li := range ds.Test() {
+		items = append(items, feature.Labeled{X: li.X, Y: f.Predict(li.X)})
+	}
+	ctx, err := core.NewContext(ds.Schema, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, ctx, f, g
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	_, ctx, _, _ := fixtures(t)
+	var buf bytes.Buffer
+	if err := SaveContext(&buf, ctx); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadContext(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ctx.Len() {
+		t.Fatalf("size %d, want %d", back.Len(), ctx.Len())
+	}
+	for i := 0; i < ctx.Len(); i++ {
+		a, b := ctx.Item(i), back.Item(i)
+		if !a.X.Equal(b.X) || a.Y != b.Y {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+	// The rebuilt index must answer queries identically.
+	li := ctx.Item(0)
+	k1, e1 := core.SRK(ctx, li.X, li.Y, 1.0)
+	k2, e2 := core.SRK(back, li.X, li.Y, 1.0)
+	if (e1 == nil) != (e2 == nil) || (e1 == nil && !k1.Equal(k2)) {
+		t.Fatalf("reloaded context yields a different key: %v/%v vs %v/%v", k1, e1, k2, e2)
+	}
+}
+
+func TestForestRoundTrip(t *testing.T) {
+	ds, _, f, _ := fixtures(t)
+	var buf bytes.Buffer
+	if err := SaveForest(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumLabels() != f.NumLabels() || len(back.Trees) != len(f.Trees) {
+		t.Fatal("forest shape differs")
+	}
+	for _, li := range ds.Instances {
+		if back.Predict(li.X) != f.Predict(li.X) {
+			t.Fatal("reloaded forest predicts differently")
+		}
+	}
+}
+
+func TestGBDTRoundTrip(t *testing.T) {
+	ds, _, _, g := fixtures(t)
+	var buf bytes.Buffer
+	if err := SaveGBDT(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadGBDT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, li := range ds.Instances {
+		if back.Score(li.X) != g.Score(li.X) {
+			t.Fatal("reloaded GBDT scores differently")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	for name, in := range map[string]string{
+		"not json":     "xyz",
+		"bad version":  `{"version":99,"schema":{"attrs":[{"Name":"A","Values":["a"]}],"labels":["x"]},"rows":[],"labels":[]}`,
+		"row mismatch": `{"version":1,"schema":{"attrs":[{"Name":"A","Values":["a"]}],"labels":["x"]},"rows":[[0]],"labels":[]}`,
+	} {
+		if _, err := LoadContext(strings.NewReader(in)); err == nil {
+			t.Errorf("LoadContext(%s): accepted", name)
+		}
+	}
+	if _, err := LoadForest(strings.NewReader(`{"version":1,"labels":2,"trees":[]}`)); err == nil {
+		t.Error("empty forest accepted")
+	}
+	if _, err := LoadForest(strings.NewReader(`{"version":2,"labels":2,"trees":[]}`)); err == nil {
+		t.Error("bad forest version accepted")
+	}
+	// Malformed tree: child index pointing backwards (cycle).
+	bad := `{"version":1,"labels":2,"trees":[{"attr":[0,-1],"value":[0,0],"left":[0,-1],"right":[1,-1],"leaf":[0,1],"leaf_value":[0,1]}]}`
+	if _, err := LoadForest(strings.NewReader(bad)); err == nil {
+		t.Error("cyclic tree accepted")
+	}
+	if _, err := LoadGBDT(strings.NewReader("1")); err == nil {
+		t.Error("garbage GBDT accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package sat
+
+import "fmt"
+
+// This file provides the cardinality encodings the formal explainer needs:
+// exactly-one constraints over a feature's one-hot value variables, and
+// sequential-counter at-most-k constraints over tree-vote indicators.
+
+// AddExactlyOne enforces that precisely one of the literals is true.
+func (s *Solver) AddExactlyOne(lits ...Lit) error {
+	if len(lits) == 0 {
+		return fmt.Errorf("sat: exactly-one over zero literals is unsatisfiable")
+	}
+	if err := s.AddClause(lits...); err != nil { // at least one
+		return err
+	}
+	return s.AddAtMostOne(lits...)
+}
+
+// AddAtMostOne enforces that at most one of the literals is true (pairwise
+// encoding; fine for the domain sizes we use).
+func (s *Solver) AddAtMostOne(lits ...Lit) error {
+	for i := 0; i < len(lits); i++ {
+		for j := i + 1; j < len(lits); j++ {
+			if err := s.AddClause(lits[i].Neg(), lits[j].Neg()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AddAtMostK enforces Σ lits ≤ k using Sinz's sequential counter encoding,
+// introducing O(n·k) auxiliary variables.
+func (s *Solver) AddAtMostK(lits []Lit, k int) error {
+	n := len(lits)
+	if k < 0 {
+		return fmt.Errorf("sat: negative cardinality bound %d", k)
+	}
+	if k >= n {
+		return nil // trivially satisfied
+	}
+	if k == 0 {
+		for _, l := range lits {
+			if err := s.AddClause(l.Neg()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// r[i][j] ⇔ at least j+1 of lits[0..i] are true (j < k).
+	r := make([][]Lit, n)
+	for i := range r {
+		r[i] = make([]Lit, k)
+		for j := range r[i] {
+			r[i][j] = Lit(s.NewVar())
+		}
+	}
+	// Base: r[0][0] ← lits[0]; r[0][j>0] is false.
+	if err := s.AddClause(lits[0].Neg(), r[0][0]); err != nil {
+		return err
+	}
+	for j := 1; j < k; j++ {
+		if err := s.AddClause(r[0][j].Neg()); err != nil {
+			return err
+		}
+	}
+	for i := 1; i < n; i++ {
+		// Carry: r[i][j] ← r[i-1][j].
+		for j := 0; j < k; j++ {
+			if err := s.AddClause(r[i-1][j].Neg(), r[i][j]); err != nil {
+				return err
+			}
+		}
+		// Increment: r[i][0] ← lits[i]; r[i][j] ← lits[i] ∧ r[i-1][j-1].
+		if err := s.AddClause(lits[i].Neg(), r[i][0]); err != nil {
+			return err
+		}
+		for j := 1; j < k; j++ {
+			if err := s.AddClause(lits[i].Neg(), r[i-1][j-1].Neg(), r[i][j]); err != nil {
+				return err
+			}
+		}
+		// Overflow forbidden: lits[i] ∧ r[i-1][k-1] is a conflict.
+		if err := s.AddClause(lits[i].Neg(), r[i-1][k-1].Neg()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddAtLeastK enforces Σ lits ≥ k via at-most over the negations.
+func (s *Solver) AddAtLeastK(lits []Lit, k int) error {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(lits) {
+		return fmt.Errorf("sat: at-least-%d over %d literals is unsatisfiable", k, len(lits))
+	}
+	neg := make([]Lit, len(lits))
+	for i, l := range lits {
+		neg[i] = l.Neg()
+	}
+	return s.AddAtMostK(neg, len(lits)-k)
+}

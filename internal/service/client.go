@@ -1,0 +1,76 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client is a typed HTTP client for a CCE service.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient targets a service at baseURL, using http.DefaultClient unless
+// overridden.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+}
+
+// Observe records one served inference in the remote context.
+func (c *Client) Observe(values map[string]string, prediction string) error {
+	var out map[string]int
+	return c.post("/observe", ObserveRequest{Values: values, Prediction: prediction}, &out)
+}
+
+// Explain requests the relative key for an observed instance. alpha 0 means
+// the server default.
+func (c *Client) Explain(values map[string]string, prediction string, alpha float64) (*ExplainResponse, error) {
+	var out ExplainResponse
+	err := c.post("/explain", ExplainRequest{Values: values, Prediction: prediction, Alpha: alpha}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches the service summary.
+func (c *Client) Stats() (*StatsResponse, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (c *Client) post(path string, req, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func httpError(resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return fmt.Errorf("service: %s: %s", resp.Status, bytes.TrimSpace(msg))
+}

@@ -1,0 +1,251 @@
+// Package service exposes CCE as an HTTP service, matching the paper's
+// deployment picture (§6): it sits at the client side of a (possibly remote)
+// ML model, accumulates the (instance, prediction) pairs observed during
+// serving via /observe, and answers /explain with relative keys — never
+// contacting the model. Instances travel as attribute-value string maps so
+// clients need no knowledge of internal value codes.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"github.com/xai-db/relativekeys/internal/cce"
+	"github.com/xai-db/relativekeys/internal/core"
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+// Server is an HTTP CCE endpoint over a fixed schema. It is safe for
+// concurrent use.
+type Server struct {
+	schema *feature.Schema
+	alpha  float64
+
+	mu      sync.RWMutex
+	ctx     *core.Context
+	monitor *cce.DriftMonitor
+}
+
+// New builds a server with an empty context.
+func New(schema *feature.Schema, alpha float64, panelSize int) (*Server, error) {
+	if err := core.ValidateAlpha(alpha); err != nil {
+		return nil, err
+	}
+	ctx, err := core.NewContext(schema, nil)
+	if err != nil {
+		return nil, err
+	}
+	var mon *cce.DriftMonitor
+	if panelSize > 0 {
+		mon, err = cce.NewDriftMonitor(schema, alpha, panelSize, 1)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Server{schema: schema, alpha: alpha, ctx: ctx, monitor: mon}, nil
+}
+
+// Warm bulk-loads labeled instances into the context (and the drift monitor,
+// when active); returns the number loaded.
+func (s *Server) Warm(items []feature.Labeled) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, li := range items {
+		if err := s.ctx.Add(li); err != nil {
+			return i, err
+		}
+		if s.monitor != nil {
+			if err := s.monitor.Observe(li); err != nil {
+				return i, err
+			}
+		}
+	}
+	return len(items), nil
+}
+
+// Handler returns the HTTP mux for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/schema", s.handleSchema)
+	mux.HandleFunc("/observe", s.handleObserve)
+	mux.HandleFunc("/explain", s.handleExplain)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// ObserveRequest is one served inference: attribute name → value string,
+// plus the prediction observed from the model.
+type ObserveRequest struct {
+	Values     map[string]string `json:"values"`
+	Prediction string            `json:"prediction"`
+}
+
+// ExplainRequest asks for the relative key of an observed instance. Alpha
+// optionally overrides the server default.
+type ExplainRequest struct {
+	Values     map[string]string `json:"values"`
+	Prediction string            `json:"prediction"`
+	Alpha      float64           `json:"alpha,omitempty"`
+}
+
+// ExplainResponse carries the explanation.
+type ExplainResponse struct {
+	Features  []string `json:"features"`
+	Rule      string   `json:"rule"`
+	Precision float64  `json:"precision"`
+	Coverage  int      `json:"coverage"`
+	Context   int      `json:"context_size"`
+}
+
+// StatsResponse summarizes the service state.
+type StatsResponse struct {
+	ContextSize      int     `json:"context_size"`
+	Alpha            float64 `json:"alpha"`
+	AvgSuccinctness  float64 `json:"monitor_avg_succinctness,omitempty"`
+	MonitorArrivals  int     `json:"monitor_arrivals,omitempty"`
+	MonitoringActive bool    `json:"monitoring_active"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	type attr struct {
+		Name   string   `json:"name"`
+		Values []string `json:"values"`
+	}
+	out := struct {
+		Attributes []attr   `json:"attributes"`
+		Labels     []string `json:"labels"`
+	}{Labels: s.schema.Labels}
+	for _, a := range s.schema.Attrs {
+		out.Attributes = append(out.Attributes, attr{Name: a.Name, Values: a.Values})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req ObserveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	li, err := s.decode(req.Values, req.Prediction)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ctx.Add(li); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.monitor != nil {
+		if err := s.monitor.Observe(li); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	writeJSON(w, map[string]int{"context_size": s.ctx.Len()})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req ExplainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	li, err := s.decode(req.Values, req.Prediction)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	alpha := s.alpha
+	if req.Alpha != 0 {
+		if err := core.ValidateAlpha(req.Alpha); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		alpha = req.Alpha
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	key, err := core.SRK(s.ctx, li.X, li.Y, alpha)
+	if err == core.ErrNoKey {
+		http.Error(w, "no α-conformant key exists for this instance", http.StatusConflict)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := ExplainResponse{
+		Rule:      key.RenderRule(s.schema, li.X, li.Y),
+		Precision: core.Precision(s.ctx, li.X, li.Y, key),
+		Coverage:  core.Coverage(s.ctx, li.X, li.Y, key),
+		Context:   s.ctx.Len(),
+	}
+	for _, a := range key {
+		resp.Features = append(resp.Features, s.schema.Attrs[a].Name)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	resp := StatsResponse{ContextSize: s.ctx.Len(), Alpha: s.alpha}
+	if s.monitor != nil {
+		resp.MonitoringActive = true
+		resp.AvgSuccinctness = s.monitor.AvgSuccinctness()
+		resp.MonitorArrivals = s.monitor.Arrivals()
+	}
+	writeJSON(w, resp)
+}
+
+// decode converts a name→value map and label string into a labeled instance.
+func (s *Server) decode(values map[string]string, prediction string) (feature.Labeled, error) {
+	x := make(feature.Instance, s.schema.NumFeatures())
+	for a, attr := range s.schema.Attrs {
+		raw, ok := values[attr.Name]
+		if !ok {
+			return feature.Labeled{}, fmt.Errorf("service: missing attribute %q", attr.Name)
+		}
+		v := attr.ValueCode(raw)
+		if v < 0 {
+			return feature.Labeled{}, fmt.Errorf("service: value %q outside the domain of %q", raw, attr.Name)
+		}
+		x[a] = v
+	}
+	if len(values) != s.schema.NumFeatures() {
+		return feature.Labeled{}, fmt.Errorf("service: request carries %d attributes, schema has %d", len(values), s.schema.NumFeatures())
+	}
+	y := s.schema.LabelCode(prediction)
+	if y < 0 {
+		return feature.Labeled{}, fmt.Errorf("service: unknown prediction %q", prediction)
+	}
+	return feature.Labeled{X: x, Y: y}, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

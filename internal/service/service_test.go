@@ -1,0 +1,214 @@
+package service
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+func testServer(t *testing.T, panel int) (*Server, *httptest.Server, *Client) {
+	t.Helper()
+	schema := feature.MustSchema([]feature.Attribute{
+		{Name: "Income", Values: []string{"1-2K", "3-4K", "5-6K"}},
+		{Name: "Credit", Values: []string{"poor", "good"}},
+		{Name: "Area", Values: []string{"Urban", "Rural"}},
+	}, []string{"Denied", "Approved"})
+	srv, err := New(schema, 1.0, panel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, NewClient(ts.URL)
+}
+
+func observeAll(t *testing.T, c *Client) {
+	t.Helper()
+	rows := []struct {
+		income, credit, area, pred string
+	}{
+		{"3-4K", "poor", "Urban", "Denied"},
+		{"5-6K", "poor", "Urban", "Approved"},
+		{"3-4K", "poor", "Rural", "Denied"},
+		{"3-4K", "good", "Urban", "Approved"},
+		{"1-2K", "poor", "Urban", "Denied"},
+		{"5-6K", "good", "Rural", "Approved"},
+	}
+	for _, r := range rows {
+		err := c.Observe(map[string]string{
+			"Income": r.income, "Credit": r.credit, "Area": r.area,
+		}, r.pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestServiceEndToEnd(t *testing.T) {
+	_, _, client := testServer(t, 3)
+	observeAll(t, client)
+
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ContextSize != 6 || !stats.MonitoringActive || stats.MonitorArrivals != 6 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	resp, err := client.Explain(map[string]string{
+		"Income": "3-4K", "Credit": "poor", "Area": "Urban",
+	}, "Denied", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Precision != 1 {
+		t.Fatalf("precision = %v", resp.Precision)
+	}
+	if len(resp.Features) == 0 || !strings.Contains(resp.Rule, "THEN Denied") {
+		t.Fatalf("rule = %q features = %v", resp.Rule, resp.Features)
+	}
+	if resp.Context != 6 {
+		t.Fatalf("context = %d", resp.Context)
+	}
+	// α override is honored (looser bound can only shrink the key).
+	relaxed, err := client.Explain(map[string]string{
+		"Income": "3-4K", "Credit": "poor", "Area": "Urban",
+	}, "Denied", 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(relaxed.Features) > len(resp.Features) {
+		t.Fatalf("relaxed key larger: %v vs %v", relaxed.Features, resp.Features)
+	}
+}
+
+func TestServiceValidation(t *testing.T) {
+	_, ts, client := testServer(t, 0)
+
+	if err := client.Observe(map[string]string{"Income": "3-4K"}, "Denied"); err == nil {
+		t.Fatal("missing attributes accepted")
+	}
+	if err := client.Observe(map[string]string{
+		"Income": "nope", "Credit": "poor", "Area": "Urban",
+	}, "Denied"); err == nil {
+		t.Fatal("out-of-domain value accepted")
+	}
+	if err := client.Observe(map[string]string{
+		"Income": "3-4K", "Credit": "poor", "Area": "Urban", "Extra": "x",
+	}, "Denied"); err == nil {
+		t.Fatal("extra attribute accepted")
+	}
+	if err := client.Observe(map[string]string{
+		"Income": "3-4K", "Credit": "poor", "Area": "Urban",
+	}, "Maybe"); err == nil {
+		t.Fatal("unknown prediction accepted")
+	}
+	if _, err := client.Explain(map[string]string{
+		"Income": "3-4K", "Credit": "poor", "Area": "Urban",
+	}, "Denied", 2.0); err == nil {
+		t.Fatal("bad alpha accepted")
+	}
+	// Wrong methods are rejected.
+	resp, err := ts.Client().Get(ts.URL + "/observe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Fatal("GET /observe accepted")
+	}
+}
+
+func TestServiceConflict(t *testing.T) {
+	_, _, client := testServer(t, 0)
+	row := map[string]string{"Income": "3-4K", "Credit": "poor", "Area": "Urban"}
+	if err := client.Observe(row, "Denied"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Observe(row, "Approved"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Explain(row, "Denied", 0); err == nil {
+		t.Fatal("conflicting twin must yield 409")
+	} else if !strings.Contains(err.Error(), "409") {
+		t.Fatalf("want 409, got %v", err)
+	}
+}
+
+func TestServiceSchemaEndpoint(t *testing.T) {
+	_, ts, _ := testServer(t, 0)
+	resp, err := ts.Client().Get(ts.URL + "/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	for _, want := range []string{"Income", "Credit", "Denied", "Approved"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("schema response missing %q: %s", want, body)
+		}
+	}
+}
+
+func TestServiceConcurrent(t *testing.T) {
+	_, _, client := testServer(t, 0)
+	observeAll(t, client)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				errs <- client.Observe(map[string]string{
+					"Income": "3-4K", "Credit": "good", "Area": "Rural",
+				}, "Approved")
+			} else {
+				_, err := client.Explain(map[string]string{
+					"Income": "3-4K", "Credit": "poor", "Area": "Urban",
+				}, "Denied", 0)
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestServerWarm(t *testing.T) {
+	srv, _, client := testServer(t, 2)
+	items := []feature.Labeled{
+		{X: feature.Instance{0, 0, 0}, Y: 0},
+		{X: feature.Instance{1, 1, 1}, Y: 1},
+		{X: feature.Instance{2, 0, 1}, Y: 1},
+	}
+	n, err := srv.Warm(items)
+	if err != nil || n != 3 {
+		t.Fatalf("Warm = %d, %v", n, err)
+	}
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ContextSize != 3 || stats.MonitorArrivals != 3 {
+		t.Fatalf("stats after warm: %+v", stats)
+	}
+	// Warm must validate rows.
+	if _, err := srv.Warm([]feature.Labeled{{X: feature.Instance{9, 9, 9}, Y: 0}}); err == nil {
+		t.Fatal("invalid warm row accepted")
+	}
+}
