@@ -1,0 +1,31 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same targets.
+
+GO ?= go
+
+.PHONY: all build test vet race bench tier1 ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-enabled pass over the streaming hot path and its consumers.
+race:
+	$(GO) test -race ./...
+
+# The incremental-window benchmarks: advance cost must stay flat across
+# capacities, Disagreeing must be word-parallel, SRK must not allocate.
+bench:
+	$(GO) test -run=NONE -bench 'WindowAdvance|WindowExplain|Disagreeing|RemoveAdd|BenchmarkSRK$$' -benchmem \
+		./internal/cce/ ./internal/core/
+
+# Tier-1 gate from ROADMAP.md.
+tier1: build test
+
+ci: vet tier1 race

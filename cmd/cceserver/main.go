@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	cceserver [-addr :8080] [-dataset loan] [-alpha 1.0] [-panel 10] [-warm]
+//	cceserver [-addr :8080] [-dataset loan] [-alpha 1.0] [-panel 10] [-retain 0] [-warm]
 //
 // Endpoints: GET /schema, POST /observe, POST /explain, GET /stats.
 package main
@@ -30,6 +30,7 @@ func main() {
 		csv    = flag.String("csv", "", "load schema+context from a CSV file instead")
 		alpha  = flag.Float64("alpha", 1.0, "default conformity bound")
 		panel  = flag.Int("panel", 10, "drift-monitor panel size (0 disables)")
+		retain = flag.Int("retain", 0, "keep only the most recent N observations in the context (0 = unbounded)")
 		warm   = flag.Bool("warm", false, "pre-populate the context with a trained model's inference log")
 	)
 	flag.Parse()
@@ -50,7 +51,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	srv, err := service.New(ds.Schema, *alpha, *panel)
+	srv, err := service.NewWithRetention(ds.Schema, *alpha, *panel, *retain)
 	if err != nil {
 		log.Fatal(err)
 	}

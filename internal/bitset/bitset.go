@@ -71,6 +71,21 @@ func (s *Set) Clone() *Set {
 	return &Set{words: w, n: s.n}
 }
 
+// CopyFrom makes s an exact copy of t, reusing s's word storage when it is
+// large enough. It is the allocation-free counterpart of Clone used by the
+// scratch-set pool in package core.
+func (s *Set) CopyFrom(t *Set) {
+	if cap(s.words) < len(t.words) {
+		s.words = make([]uint64, len(t.words))
+	} else {
+		s.words = s.words[:len(t.words)]
+		// Words beyond t's length were truncated; the retained prefix is
+		// overwritten by the copy below.
+	}
+	copy(s.words, t.words)
+	s.n = t.n
+}
+
 // Clear removes all elements, keeping capacity.
 func (s *Set) Clear() {
 	for i := range s.words {

@@ -124,6 +124,40 @@ func TestClearAndEqual(t *testing.T) {
 	}
 }
 
+func TestCopyFrom(t *testing.T) {
+	src := New(300)
+	for _, i := range []int{0, 64, 128, 299} {
+		src.Add(i)
+	}
+	// Into an empty zero-value set (the pool's starting state).
+	var dst Set
+	dst.CopyFrom(src)
+	if !dst.Equal(src) {
+		t.Fatal("CopyFrom into zero-value set not equal")
+	}
+	// Mutating the copy must not touch the source.
+	dst.Remove(64)
+	if !src.Contains(64) {
+		t.Fatal("CopyFrom aliased the source words")
+	}
+	// Into a larger set: capacity must shrink to match and stale bits must
+	// not survive (pool reuse across contexts of different sizes).
+	big := New(5000)
+	for i := 0; i < 5000; i += 7 {
+		big.Add(i)
+	}
+	big.CopyFrom(src)
+	if !big.Equal(src) {
+		t.Fatal("CopyFrom into larger set left stale state")
+	}
+	// Into a smaller set: storage regrows.
+	small := New(1)
+	small.CopyFrom(src)
+	if !small.Equal(src) {
+		t.Fatal("CopyFrom into smaller set not equal")
+	}
+}
+
 // Property: set operations agree with map-based reference implementation.
 func TestQuickOpsAgainstReference(t *testing.T) {
 	f := func(adds, dels []uint16) bool {

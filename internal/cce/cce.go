@@ -9,6 +9,7 @@ package cce
 
 import (
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -124,16 +125,41 @@ func (e *batchExplainer) Explain(x feature.Instance) (explain.Explanation, error
 
 // ContextLookup returns a lookup that resolves predictions from the batch
 // context itself (the common case: explained instances are inference
-// instances).
+// instances). Lookups are backed by a hash map keyed on the encoded
+// instance — O(attrs) per call instead of a linear context scan, which made
+// explainer-driven batch runs O(n²). The map is extended lazily when the
+// context has grown since the last call; like the scan it replaces, the
+// first occurrence of an instance wins.
 func (b *Batch) ContextLookup() func(feature.Instance) (feature.Label, error) {
+	var (
+		mu      sync.Mutex
+		index   = make(map[string]feature.Label, b.Ctx.Len())
+		indexed int
+	)
 	return func(x feature.Instance) (feature.Label, error) {
-		for i := 0; i < b.Ctx.Len(); i++ {
-			if b.Ctx.Item(i).X.Equal(x) {
-				return b.Ctx.Item(i).Y, nil
+		mu.Lock()
+		defer mu.Unlock()
+		for ; indexed < b.Ctx.NumSlots(); indexed++ {
+			li := b.Ctx.Item(indexed)
+			k := encodeInstance(li.X)
+			if _, ok := index[k]; !ok {
+				index[k] = li.Y
 			}
+		}
+		if y, ok := index[encodeInstance(x)]; ok {
+			return y, nil
 		}
 		return 0, fmt.Errorf("cce: instance not found in the inference context")
 	}
+}
+
+// encodeInstance renders an instance as a map key.
+func encodeInstance(x feature.Instance) string {
+	var b strings.Builder
+	for _, v := range x {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
 }
 
 // Online is CCE's online mode: monitor the relative key of one target

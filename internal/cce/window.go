@@ -38,6 +38,11 @@ func (p Policy) String() string {
 // Window maintains a sliding context of the most recent instances for
 // explaining under dynamic models whose change points are unknown: each step
 // of ΔI new instances drops the ΔI oldest ones.
+//
+// The context is maintained incrementally: advance adds the ΔI arrivals and
+// retires the ΔI oldest rows in place — O(ΔI × attrs) bit operations —
+// instead of re-indexing all |I| rows, so the per-step cost is independent
+// of the window capacity.
 type Window struct {
 	schema   *feature.Schema
 	capacity int
@@ -45,13 +50,26 @@ type Window struct {
 	alpha    float64
 	policy   Policy
 
-	buf     []feature.Labeled // pending arrivals of the current step
-	window  []feature.Labeled // current window contents (≤ capacity)
-	ctx     *core.Context     // rebuilt per step
+	buf  []feature.Labeled // pending arrivals of the current step
+	ring []int             // context slots of window rows, oldest first from head
+	head int
+	size int
+
+	ctx     *core.Context // one index, updated in place by advance
 	version int
 
-	// cache holds per-instance resolved keys across overlapping contexts.
-	cache map[string]core.Key
+	// cache holds per-instance resolved keys across overlapping contexts for
+	// FirstWins/UnionKey (LastWins never reads earlier keys, so it bypasses
+	// the cache entirely). Entries are version-stamped and evicted once no
+	// window overlapping their last resolution remains — see evictStale.
+	cache   map[string]cacheEntry
+	touched map[int][]string // version → ids resolved at that version
+	swept   int              // versions < swept have been drained from touched
+}
+
+type cacheEntry struct {
+	key     core.Key
+	version int
 }
 
 // NewWindow builds a sliding-window explainer. capacity is |I|; step is ΔI.
@@ -65,7 +83,7 @@ func NewWindow(schema *feature.Schema, capacity, step int, alpha float64, policy
 	if step <= 0 || step > capacity {
 		return nil, fmt.Errorf("cce: window step %d must be in [1,%d]", step, capacity)
 	}
-	ctx, err := core.NewContext(schema, nil)
+	ctx, err := core.NewContextSized(schema, nil, capacity)
 	if err != nil {
 		return nil, err
 	}
@@ -75,8 +93,10 @@ func NewWindow(schema *feature.Schema, capacity, step int, alpha float64, policy
 		step:     step,
 		alpha:    alpha,
 		policy:   policy,
+		ring:     make([]int, capacity),
 		ctx:      ctx,
-		cache:    map[string]core.Key{},
+		cache:    map[string]cacheEntry{},
+		touched:  map[int][]string{},
 	}, nil
 }
 
@@ -92,20 +112,60 @@ func (w *Window) Observe(li feature.Labeled) error {
 	return nil
 }
 
-// advance shifts the window by one step and rebuilds the context.
+// advance shifts the window by one step, updating the single shared index in
+// place: each of the ΔI arrivals first retires the oldest row when the
+// window is full (clearing its posting-list bits and freeing its slot) and
+// then claims a slot for itself. Total cost O(ΔI × attrs) regardless of
+// capacity — the rebuild this replaced re-indexed all |I| rows per step.
 func (w *Window) advance() error {
-	w.window = append(w.window, w.buf...)
+	for _, li := range w.buf {
+		if w.size == w.capacity {
+			if err := w.ctx.Remove(w.ring[w.head]); err != nil {
+				return err
+			}
+			w.head = (w.head + 1) % w.capacity
+			w.size--
+		}
+		slot, err := w.ctx.AddSlot(li)
+		if err != nil {
+			return err
+		}
+		w.ring[(w.head+w.size)%w.capacity] = slot
+		w.size++
+	}
 	w.buf = w.buf[:0]
-	if over := len(w.window) - w.capacity; over > 0 {
-		w.window = w.window[over:]
-	}
-	ctx, err := core.NewContext(w.schema, w.window)
-	if err != nil {
-		return err
-	}
-	w.ctx = ctx
 	w.version++
+	w.evictStale()
 	return nil
+}
+
+// retentionVersions is how many advances a window context survives: after
+// ⌈capacity/step⌉ further steps no row of the current window remains, so a
+// cache entry untouched for that long has no overlapping context left and
+// its policy state is dead weight.
+func (w *Window) retentionVersions() int {
+	return (w.capacity+w.step-1)/w.step + 1
+}
+
+// evictStale drops cache entries whose last resolution no longer overlaps
+// the current window. Each Explain logs its id under the then-current
+// version; advancing drains the version buckets that fell past the horizon,
+// deleting entries not re-resolved since. Amortized O(resolutions), so the
+// cache is bounded by the ids explained within one window lifetime instead
+// of growing for the whole stream.
+func (w *Window) evictStale() {
+	cutoff := w.version - w.retentionVersions()
+	for v := w.swept; v <= cutoff; v++ {
+		for _, id := range w.touched[v] {
+			if e, ok := w.cache[id]; ok && e.version <= cutoff {
+				delete(w.cache, id)
+			}
+		}
+		delete(w.touched, v)
+	}
+	if cutoff >= w.swept {
+		w.swept = cutoff + 1
+	}
 }
 
 // Reset clears the window, pending buffer and key cache. Appendix B: when
@@ -113,14 +173,16 @@ func (w *Window) advance() error {
 // and switches to inference instances and predictions collected from the
 // updated model" — this is that switch.
 func (w *Window) Reset() error {
-	ctx, err := core.NewContext(w.schema, nil)
+	ctx, err := core.NewContextSized(w.schema, nil, w.capacity)
 	if err != nil {
 		return err
 	}
 	w.buf = w.buf[:0]
-	w.window = w.window[:0]
+	w.head, w.size = 0, 0
 	w.ctx = ctx
-	w.cache = map[string]core.Key{}
+	w.cache = map[string]cacheEntry{}
+	w.touched = map[int][]string{}
+	w.swept = w.version + 1
 	w.version++
 	return nil
 }
@@ -129,33 +191,46 @@ func (w *Window) Reset() error {
 func (w *Window) Version() int { return w.version }
 
 // Size returns the current window occupancy.
-func (w *Window) Size() int { return len(w.window) }
+func (w *Window) Size() int { return w.size }
 
 // Context exposes the current window context.
 func (w *Window) Context() *core.Context { return w.ctx }
 
+// Items returns the window contents oldest-first (excluding arrivals still
+// buffered before the next advance).
+func (w *Window) Items() []feature.Labeled {
+	out := make([]feature.Labeled, 0, w.size)
+	for i := 0; i < w.size; i++ {
+		out = append(out, w.ctx.Item(w.ring[(w.head+i)%w.capacity]))
+	}
+	return out
+}
+
 // Explain computes the key for x (predicted y) relative to the current
 // window and resolves it against earlier keys per the policy.
 func (w *Window) Explain(x feature.Instance, y feature.Label) (core.Key, error) {
-	id := instanceID(x, y)
 	fresh, err := core.SRK(w.ctx, x, y, w.alpha)
 	if err != nil {
 		return nil, err
 	}
+	if w.policy == LastWins {
+		// The latest key wins unconditionally: earlier resolutions are never
+		// consulted, so caching them would only consume memory.
+		return fresh, nil
+	}
+	id := instanceID(x, y)
 	prev, seen := w.cache[id]
 	var resolved core.Key
 	switch w.policy {
 	case FirstWins:
 		if seen {
-			resolved = prev
+			resolved = prev.key
 		} else {
 			resolved = fresh
 		}
-	case LastWins:
-		resolved = fresh
 	case UnionKey:
 		if seen {
-			merged := append(append(core.Key{}, prev...), fresh...)
+			merged := append(append(core.Key{}, prev.key...), fresh...)
 			resolved = core.NewKey(merged...)
 		} else {
 			resolved = fresh
@@ -163,9 +238,13 @@ func (w *Window) Explain(x feature.Instance, y feature.Label) (core.Key, error) 
 	default:
 		return nil, fmt.Errorf("cce: unknown policy %v", w.policy)
 	}
-	w.cache[id] = resolved
+	w.cache[id] = cacheEntry{key: resolved, version: w.version}
+	w.touched[w.version] = append(w.touched[w.version], id)
 	return resolved.Clone(), nil
 }
+
+// cacheLen exposes the cache occupancy to tests.
+func (w *Window) cacheLen() int { return len(w.cache) }
 
 func instanceID(x feature.Instance, y feature.Label) string {
 	var b strings.Builder

@@ -1,0 +1,65 @@
+package cce
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkWindowAdvance measures the cost of one full window step (ΔI
+// observes ending in an advance) across capacities. With the incremental
+// index the ns/op must stay flat as capacity grows 64×; the rebuild this
+// replaced scaled linearly with capacity.
+func BenchmarkWindowAdvance(b *testing.B) {
+	s := testSchema(b)
+	const step = 64
+	for _, capacity := range []int{1024, 4096, 16384, 65536} {
+		b.Run(fmt.Sprintf("cap=%d", capacity), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(31))
+			w, err := NewWindow(s, capacity, step, 1.0, LastWins)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Pre-fill so every measured advance retires a full step.
+			for _, li := range randomStream(rng, s, capacity) {
+				if err := w.Observe(li); err != nil {
+					b.Fatal(err)
+				}
+			}
+			arrivals := randomStream(rng, s, step)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, li := range arrivals {
+					if err := w.Observe(li); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWindowExplain measures steady-state Explain over a sliding
+// window, the full streaming hot path (SRK + pooled scratch sets).
+func BenchmarkWindowExplain(b *testing.B) {
+	s := testSchema(b)
+	rng := rand.New(rand.NewSource(32))
+	w, err := NewWindow(s, 4096, 64, 0.95, LastWins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := randomStream(rng, s, 4096)
+	for _, li := range stream {
+		if err := w.Observe(li); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		li := stream[i%len(stream)]
+		if _, err := w.Explain(li.X, li.Y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

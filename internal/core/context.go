@@ -17,22 +17,45 @@ import (
 // Context is a collection I of instances and their model predictions, indexed
 // with per-(attribute,value) posting lists so that the intersection counts in
 // SRK's greedy step cost O(|I|/64) words each.
+//
+// Rows live in slots. A context built by NewContext and grown only with Add
+// is append-only: slot i holds the i-th arrival and Len == NumSlots. Remove
+// retires a slot — its bits are cleared from every posting list and from the
+// live mask, and the slot is recycled by the next Add — which is what lets
+// cce.Window slide without rebuilding the index. While holes exist, Item and
+// Items still expose retired rows; iterate live rows with LiveItems or guard
+// with Alive.
 type Context struct {
 	Schema *feature.Schema
 
 	items []feature.Labeled
-	// post[attr][value] holds the rows where x[attr] == value.
+	// post[attr][value] holds the live rows where x[attr] == value.
 	post [][]*bitset.Set
-	// byLabel[y] holds the rows predicted y.
+	// byLabel[y] holds the live rows predicted y.
 	byLabel []*bitset.Set
-	cap     int // current bitset capacity
+	// live masks the occupied slots; posting lists are always subsets of it.
+	live      *bitset.Set
+	liveCount int
+	// free holds retired slots awaiting reuse (LIFO).
+	free []int
+	cap  int // current bitset capacity
 }
 
 // NewContext builds an indexed context. Instances are validated against the
 // schema; predictions must be inside the label space.
 func NewContext(schema *feature.Schema, items []feature.Labeled) (*Context, error) {
+	return NewContextSized(schema, items, len(items))
+}
+
+// NewContextSized builds an indexed context with bitset capacity pre-sized
+// for at least capacity rows, avoiding growth reallocations when the eventual
+// occupancy is known up front (e.g. a sliding window of fixed size).
+func NewContextSized(schema *feature.Schema, items []feature.Labeled, capacity int) (*Context, error) {
+	if capacity < len(items) {
+		capacity = len(items)
+	}
 	c := &Context{Schema: schema}
-	c.initIndex(len(items))
+	c.initIndex(capacity)
 	for _, li := range items {
 		if err := c.Add(li); err != nil {
 			return nil, err
@@ -57,25 +80,61 @@ func (c *Context) initIndex(capacity int) {
 	for y := range c.byLabel {
 		c.byLabel[y] = bitset.New(capacity)
 	}
+	c.live = bitset.New(capacity)
 }
 
 // Add appends one labeled instance to the context (the online growth path).
 func (c *Context) Add(li feature.Labeled) error {
+	_, err := c.AddSlot(li)
+	return err
+}
+
+// AddSlot is Add returning the slot the instance landed in, so callers that
+// later Remove rows (sliding windows, rollbacks) can address them in O(1).
+// Retired slots are reused before the context grows.
+func (c *Context) AddSlot(li feature.Labeled) (int, error) {
 	if err := c.Schema.Validate(li.X); err != nil {
-		return err
+		return -1, err
 	}
 	if li.Y < 0 || int(li.Y) >= len(c.Schema.Labels) {
-		return fmt.Errorf("core: prediction %d outside label space of size %d", li.Y, len(c.Schema.Labels))
+		return -1, fmt.Errorf("core: prediction %d outside label space of size %d", li.Y, len(c.Schema.Labels))
 	}
-	i := len(c.items)
-	if i >= c.cap {
-		c.grow(2*c.cap + 1)
+	var i int
+	if n := len(c.free); n > 0 {
+		i = c.free[n-1]
+		c.free = c.free[:n-1]
+		c.items[i] = li
+	} else {
+		i = len(c.items)
+		if i >= c.cap {
+			c.grow(2*c.cap + 1)
+		}
+		c.items = append(c.items, li)
 	}
-	c.items = append(c.items, li)
 	for a, v := range li.X {
 		c.post[a][v].Add(i)
 	}
 	c.byLabel[li.Y].Add(i)
+	c.live.Add(i)
+	c.liveCount++
+	return i, nil
+}
+
+// Remove retires the row in the given slot: O(attrs) bit clears, after which
+// no posting list, label set, or Disagreeing result contains it. The slot is
+// recycled by a later Add. Removing a dead or out-of-range slot errors.
+func (c *Context) Remove(slot int) error {
+	if slot < 0 || slot >= len(c.items) || !c.live.Contains(slot) {
+		return fmt.Errorf("core: remove of dead or out-of-range slot %d", slot)
+	}
+	li := c.items[slot]
+	for a, v := range li.X {
+		c.post[a][v].Remove(slot)
+	}
+	c.byLabel[li.Y].Remove(slot)
+	c.live.Remove(slot)
+	c.liveCount--
+	c.free = append(c.free, slot)
 	return nil
 }
 
@@ -89,16 +148,39 @@ func (c *Context) grow(n int) {
 	for y := range c.byLabel {
 		c.byLabel[y].Grow(n)
 	}
+	c.live.Grow(n)
 }
 
-// Len returns |I|.
-func (c *Context) Len() int { return len(c.items) }
+// Len returns |I|: the number of live rows.
+func (c *Context) Len() int { return c.liveCount }
 
-// Item returns the i-th labeled instance.
+// NumSlots returns the physical slot count, ≥ Len when rows were removed.
+func (c *Context) NumSlots() int { return len(c.items) }
+
+// Alive reports whether slot i holds a live row.
+func (c *Context) Alive(i int) bool { return c.live.Contains(i) }
+
+// Item returns the row in slot i. In a context that has seen removals the
+// slot may be dead (check Alive) or hold a later arrival than the i-th.
 func (c *Context) Item(i int) feature.Labeled { return c.items[i] }
 
-// Items returns the backing slice; callers must not mutate it.
+// Items returns the backing slot array; callers must not mutate it. Dead
+// slots retain their last occupant — use LiveItems when removals may have
+// happened.
 func (c *Context) Items() []feature.Labeled { return c.items }
+
+// LiveItems returns a fresh slice of the live rows in slot order.
+func (c *Context) LiveItems() []feature.Labeled {
+	out := make([]feature.Labeled, 0, c.liveCount)
+	c.live.ForEach(func(i int) bool {
+		out = append(out, c.items[i])
+		return true
+	})
+	return out
+}
+
+// Live returns the live-row mask; callers must not mutate it.
+func (c *Context) Live() *bitset.Set { return c.live }
 
 // Posting returns the posting list for attr==value; callers must not mutate
 // it. Capacity may exceed Len.
@@ -107,15 +189,22 @@ func (c *Context) Posting(attr int, v feature.Value) *bitset.Set { return c.post
 // LabelSet returns the posting list of rows predicted y.
 func (c *Context) LabelSet(y feature.Label) *bitset.Set { return c.byLabel[y] }
 
-// Disagreeing returns a fresh bitset of rows whose prediction differs from y.
+// Disagreeing returns a fresh bitset of live rows whose prediction differs
+// from y, derived as the masked complement live \ byLabel[y] — O(cap/64)
+// words instead of an O(|I|) item scan.
 func (c *Context) Disagreeing(y feature.Label) *bitset.Set {
-	d := bitset.New(c.cap)
-	for i, li := range c.items {
-		if li.Y != y {
-			d.Add(i)
-		}
+	return c.DisagreeingInto(c.live.Clone(), y)
+}
+
+// DisagreeingInto writes the Disagreeing set into dst (resizing it as
+// needed) and returns dst; it is the allocation-free path used with pooled
+// scratch sets.
+func (c *Context) DisagreeingInto(dst *bitset.Set, y feature.Label) *bitset.Set {
+	dst.CopyFrom(c.live)
+	if y >= 0 && int(y) < len(c.byLabel) {
+		dst.AndNot(c.byLabel[y])
 	}
-	return d
+	return dst
 }
 
 // ErrNoKey is returned when no feature subset can reach the requested
@@ -132,7 +221,18 @@ func ValidateAlpha(alpha float64) error {
 }
 
 // Budget returns the number of violating instances tolerated by α over a
-// context of size n: ⌊(1−α)·n⌋ with a tolerance for float rounding.
+// context of size n: ⌊(1−α)·n⌋ with a tolerance for float rounding. The
+// tolerance is scale-aware: the rounding error of the product (1−α)·n grows
+// with n (about n·2⁻⁵³), so a fixed absolute epsilon that works at n=10³
+// silently under-budgets at n=10⁸. A relative slack of 10⁻¹² dominates that
+// error at every n while staying far below 1 ulp of any honest non-integer
+// product; the absolute 10⁻⁹ floor preserves the historical behaviour for
+// tiny products.
 func Budget(alpha float64, n int) int {
-	return int((1-alpha)*float64(n) + 1e-9)
+	p := (1 - alpha) * float64(n)
+	tol := p * 1e-12
+	if tol < 1e-9 {
+		tol = 1e-9
+	}
+	return int(p + tol)
 }

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+func benchContext(b *testing.B, n int) *Context {
+	b.Helper()
+	s := loanSchema(b)
+	rng := rand.New(rand.NewSource(41))
+	c, err := NewContextSized(s, nil, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := c.Add(randomLoanRow(rng)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+// BenchmarkDisagreeing pins the masked-complement derivation: one AndNot
+// pass over live/byLabel words (O(|I|/64)) instead of the former O(|I|)
+// per-item scan with a branch per row.
+func BenchmarkDisagreeing(b *testing.B) {
+	for _, n := range []int{1_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			c := benchContext(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Disagreeing(feature.Label(i & 1))
+			}
+		})
+	}
+}
+
+// BenchmarkSRK measures a single pooled-scratch SRK call at α=0.9; the
+// steady state must not allocate the survivor set.
+func BenchmarkSRK(b *testing.B) {
+	c := benchContext(b, 100_000)
+	q := c.Item(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SRK(c, q.X, q.Y, 0.9); err != nil && err != ErrNoKey {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRemoveAdd measures the steady-state slide: retire one row, admit
+// one row — the per-arrival cost of the incremental window.
+func BenchmarkRemoveAdd(b *testing.B) {
+	for _, n := range []int{1_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			c := benchContext(b, n)
+			rng := rand.New(rand.NewSource(42))
+			slots := make([]int, 0, n)
+			c.Live().ForEach(func(i int) bool { slots = append(slots, i); return true })
+			head := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Remove(slots[head]); err != nil {
+					b.Fatal(err)
+				}
+				slot, err := c.AddSlot(randomLoanRow(rng))
+				if err != nil {
+					b.Fatal(err)
+				}
+				slots[head] = slot
+				head = (head + 1) % len(slots)
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/xai-db/relativekeys/internal/bitset"
 	"github.com/xai-db/relativekeys/internal/feature"
 )
 
@@ -97,7 +98,8 @@ func Violations(c *Context, x feature.Instance, y feature.Label, E Key) int {
 	if c.Len() == 0 {
 		return 0
 	}
-	d := c.Disagreeing(y)
+	d := getDisagreeing(c, y)
+	defer putScratch(d)
 	for _, f := range E {
 		d.And(c.Posting(f, x[f]))
 	}
@@ -131,7 +133,9 @@ func Coverage(c *Context, x feature.Instance, y feature.Label, E Key) int {
 	if c.Len() == 0 {
 		return 0
 	}
-	d := c.LabelSet(y).Clone()
+	d := scratchSets.Get().(*bitset.Set)
+	defer putScratch(d)
+	d.CopyFrom(c.LabelSet(y))
 	for _, f := range E {
 		d.And(c.Posting(f, x[f]))
 	}

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/xai-db/relativekeys/internal/bitset"
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+// scratchSets recycles the per-call survivor bitsets of the SRK family. A
+// streaming deployment (service /explain, cce.Window) runs SRK once per
+// request; without pooling every call allocates a |I|-bit set just to throw
+// it away, and at millions of requests the allocator, not the algorithm,
+// dominates. Sets returned to the pool keep their word storage, so steady
+// state allocates nothing regardless of context size.
+var scratchSets = sync.Pool{New: func() any { return new(bitset.Set) }}
+
+// getDisagreeing returns a pooled bitset loaded with c.Disagreeing(y).
+func getDisagreeing(c *Context, y feature.Label) *bitset.Set {
+	d := scratchSets.Get().(*bitset.Set)
+	return c.DisagreeingInto(d, y)
+}
+
+// putScratch returns a scratch set to the pool. Callers must not retain the
+// set afterwards.
+func putScratch(d *bitset.Set) { scratchSets.Put(d) }

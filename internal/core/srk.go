@@ -23,8 +23,11 @@ func SRK(c *Context, x feature.Instance, y feature.Label, alpha float64) (Key, e
 	budget := Budget(alpha, c.Len())
 
 	// D = instances matching x on E with a different prediction; E starts
-	// empty, so D starts as every disagreeing instance.
-	d := c.Disagreeing(y)
+	// empty, so D starts as every disagreeing instance. The survivor set is
+	// pooled: /explain-style callers run SRK once per request and the
+	// allocation would otherwise dominate at streaming rates.
+	d := getDisagreeing(c, y)
+	defer putScratch(d)
 	E := Key{}
 	if d.Count() <= budget {
 		return E, nil // the empty key already satisfies α
@@ -88,7 +91,8 @@ func SRKOrdered(c *Context, x feature.Instance, y feature.Label, alpha float64) 
 	}
 	n := c.Schema.NumFeatures()
 	budget := Budget(alpha, c.Len())
-	d := c.Disagreeing(y)
+	d := getDisagreeing(c, y)
+	defer putScratch(d)
 	var order []int
 	if d.Count() <= budget {
 		return order, nil
@@ -135,7 +139,8 @@ func SRKRandomOrder(c *Context, x feature.Instance, y feature.Label, alpha float
 		return nil, err
 	}
 	budget := Budget(alpha, c.Len())
-	d := c.Disagreeing(y)
+	d := getDisagreeing(c, y)
+	defer putScratch(d)
 	E := Key{}
 	if d.Count() <= budget {
 		return E, nil

@@ -36,7 +36,9 @@ func SaveContext(w io.Writer, c *core.Context) error {
 		Version: formatVersion,
 		Schema:  schemaJSON{Attrs: c.Schema.Attrs, Labels: c.Schema.Labels},
 	}
-	for _, li := range c.Items() {
+	// LiveItems skips retired slots, so windowed/retention contexts persist
+	// only their current occupants.
+	for _, li := range c.LiveItems() {
 		f.Rows = append(f.Rows, append([]int32(nil), li.X...))
 		f.Labels = append(f.Labels, li.Y)
 	}

@@ -17,34 +17,96 @@ import (
 	"github.com/xai-db/relativekeys/internal/feature"
 )
 
+// driftObserver is the slice of cce.DriftMonitor the server depends on; a
+// seam so tests can inject failing monitors when exercising the observe
+// rollback path.
+type driftObserver interface {
+	Observe(feature.Labeled) error
+	AvgSuccinctness() float64
+	Arrivals() int
+}
+
 // Server is an HTTP CCE endpoint over a fixed schema. It is safe for
 // concurrent use.
 type Server struct {
 	schema *feature.Schema
 	alpha  float64
+	retain int // max live context rows; 0 = grow forever
 
 	mu      sync.RWMutex
 	ctx     *core.Context
-	monitor *cce.DriftMonitor
+	monitor driftObserver
+
+	// order tracks live context slots oldest-first when retention is on.
+	order     []int
+	orderHead int
 }
 
-// New builds a server with an empty context.
+// New builds a server with an empty, unbounded context.
 func New(schema *feature.Schema, alpha float64, panelSize int) (*Server, error) {
+	return NewWithRetention(schema, alpha, panelSize, 0)
+}
+
+// NewWithRetention builds a server whose context keeps only the most recent
+// `retain` observations (0 = unbounded): once full, each /observe retires
+// the oldest row in place, so a long-running service holds steady memory and
+// explains against the freshest inference behaviour instead of the entire
+// history. retain must be 0 or positive.
+func NewWithRetention(schema *feature.Schema, alpha float64, panelSize, retain int) (*Server, error) {
 	if err := core.ValidateAlpha(alpha); err != nil {
 		return nil, err
 	}
-	ctx, err := core.NewContext(schema, nil)
+	if retain < 0 {
+		return nil, fmt.Errorf("service: retention %d must be ≥ 0", retain)
+	}
+	ctx, err := core.NewContextSized(schema, nil, retain)
 	if err != nil {
 		return nil, err
 	}
-	var mon *cce.DriftMonitor
+	s := &Server{schema: schema, alpha: alpha, retain: retain, ctx: ctx}
 	if panelSize > 0 {
-		mon, err = cce.NewDriftMonitor(schema, alpha, panelSize, 1)
+		mon, err := cce.NewDriftMonitor(schema, alpha, panelSize, 1)
 		if err != nil {
 			return nil, err
 		}
+		s.monitor = mon
 	}
-	return &Server{schema: schema, alpha: alpha, ctx: ctx, monitor: mon}, nil
+	return s, nil
+}
+
+// observeLocked admits one instance into the context and the drift monitor
+// as a unit: if the monitor rejects the instance after the context accepted
+// it, the context add is rolled back so a client retry cannot duplicate the
+// row. Retention eviction runs only after the pair committed. Callers hold
+// s.mu.
+func (s *Server) observeLocked(li feature.Labeled) error {
+	slot, err := s.ctx.AddSlot(li)
+	if err != nil {
+		return err
+	}
+	if s.monitor != nil {
+		if err := s.monitor.Observe(li); err != nil {
+			if rerr := s.ctx.Remove(slot); rerr != nil {
+				return monitorError{fmt.Errorf("%w (rollback failed: %v)", err, rerr)}
+			}
+			return monitorError{err}
+		}
+	}
+	if s.retain > 0 {
+		s.order = append(s.order, slot)
+		for s.ctx.Len() > s.retain {
+			if err := s.ctx.Remove(s.order[s.orderHead]); err != nil {
+				return err
+			}
+			s.orderHead++
+		}
+		// Compact the slot FIFO once the dead prefix dominates.
+		if s.orderHead > len(s.order)/2 && s.orderHead > 64 {
+			s.order = append(s.order[:0], s.order[s.orderHead:]...)
+			s.orderHead = 0
+		}
+	}
+	return nil
 }
 
 // Warm bulk-loads labeled instances into the context (and the drift monitor,
@@ -53,13 +115,8 @@ func (s *Server) Warm(items []feature.Labeled) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i, li := range items {
-		if err := s.ctx.Add(li); err != nil {
+		if err := s.observeLocked(li); err != nil {
 			return i, err
-		}
-		if s.monitor != nil {
-			if err := s.monitor.Observe(li); err != nil {
-				return i, err
-			}
 		}
 	}
 	return len(items), nil
@@ -103,10 +160,18 @@ type ExplainResponse struct {
 type StatsResponse struct {
 	ContextSize      int     `json:"context_size"`
 	Alpha            float64 `json:"alpha"`
+	Retention        int     `json:"retention,omitempty"`
 	AvgSuccinctness  float64 `json:"monitor_avg_succinctness,omitempty"`
 	MonitorArrivals  int     `json:"monitor_arrivals,omitempty"`
 	MonitoringActive bool    `json:"monitoring_active"`
 }
+
+// monitorError marks drift-monitor failures (server-side, 500) so the
+// observe handler can distinguish them from client input errors (400).
+type monitorError struct{ err error }
+
+func (e monitorError) Error() string { return e.err.Error() }
+func (e monitorError) Unwrap() error { return e.err }
 
 func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
@@ -144,15 +209,13 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.ctx.Add(li); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	if s.monitor != nil {
-		if err := s.monitor.Observe(li); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
+	if err := s.observeLocked(li); err != nil {
+		status := http.StatusBadRequest
+		if _, server := err.(monitorError); server {
+			status = http.StatusInternalServerError
 		}
+		http.Error(w, err.Error(), status)
+		return
 	}
 	writeJSON(w, map[string]int{"context_size": s.ctx.Len()})
 }
@@ -210,7 +273,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	resp := StatsResponse{ContextSize: s.ctx.Len(), Alpha: s.alpha}
+	resp := StatsResponse{ContextSize: s.ctx.Len(), Alpha: s.alpha, Retention: s.retain}
 	if s.monitor != nil {
 		resp.MonitoringActive = true
 		resp.AvgSuccinctness = s.monitor.AvgSuccinctness()
