@@ -2,18 +2,29 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench tier1 ci
+# One ~10s native-fuzz burst per target; see fuzz-smoke.
+FUZZTIME ?= 10s
+
+.PHONY: all build test vet lint race bench tier1 fuzz-smoke ci
 
 all: ci
 
 build:
 	$(GO) build ./...
 
+# -vet=all: run every go vet analyzer over test compilation too, not just the
+# high-confidence default subset.
 test:
-	$(GO) test ./...
+	$(GO) test -vet=all ./...
 
 vet:
 	$(GO) vet ./...
+
+# rkvet: the repo-specific static-analysis suite (internal/analysis) —
+# maporder, poolpair, floateq, dropperr, lockcheck. Exits nonzero on any
+# finding that is not suppressed with a reasoned //rkvet:ignore.
+lint:
+	$(GO) run ./cmd/rkvet
 
 # Race-enabled pass over the streaming hot path and its consumers.
 race:
@@ -25,7 +36,18 @@ bench:
 	$(GO) test -run=NONE -bench 'WindowAdvance|WindowExplain|Disagreeing|RemoveAdd|BenchmarkSRK$$' -benchmem \
 		./internal/cce/ ./internal/core/
 
+# Short native-fuzz burst per target, on top of the committed seed corpora
+# (testdata/fuzz/): bitset vs naive model, bucketing round-trips, incremental
+# context vs rebuilt, SAT solver vs its own CNF. go test -fuzz accepts one
+# target per invocation, hence the fan-out.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzSetOps          -fuzztime=$(FUZZTIME) ./internal/bitset/
+	$(GO) test -run=NONE -fuzz=FuzzBucketer        -fuzztime=$(FUZZTIME) ./internal/feature/
+	$(GO) test -run=NONE -fuzz=FuzzBucketByCuts    -fuzztime=$(FUZZTIME) ./internal/feature/
+	$(GO) test -run=NONE -fuzz=FuzzContextRemoveAdd -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -run=NONE -fuzz=FuzzSolver          -fuzztime=$(FUZZTIME) ./internal/sat/
+
 # Tier-1 gate from ROADMAP.md.
 tier1: build test
 
-ci: vet tier1 race
+ci: vet lint tier1 race

@@ -43,7 +43,9 @@ func main() {
 			log.Fatal(ferr)
 		}
 		ds, err = dataset.ReadCSV(f)
-		f.Close()
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	} else {
 		ds, err = dataset.Load(*dsName, dataset.Options{})
 	}

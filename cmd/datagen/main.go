@@ -29,26 +29,44 @@ func main() {
 	)
 	flag.Parse()
 
+	var f *os.File
 	w := bufio.NewWriter(os.Stdout)
 	if *out != "" {
-		f, err := os.Create(*out)
+		var err error
+		f, err = os.Create(*out)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
 		w = bufio.NewWriter(f)
 	}
-	defer w.Flush()
 	cw := csv.NewWriter(w)
-	defer cw.Flush()
 
+	isEM := false
 	for _, n := range em.Names() {
 		if n == *dsName {
-			writeEM(cw, *dsName, *size, *seed)
-			return
+			isEM = true
 		}
 	}
-	writeGeneral(cw, *dsName, *size, *seed)
+	if isEM {
+		writeEM(cw, *dsName, *size, *seed)
+	} else {
+		writeGeneral(cw, *dsName, *size, *seed)
+	}
+
+	// A deferred, unchecked flush/close would silently truncate the dataset
+	// on a full disk; fail loudly instead.
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
 func writeGeneral(cw *csv.Writer, name string, size int, seed int64) {

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureCases pairs each checker with its testdata fixture. The maporder
+// fixture is loaded under a key-producing import path so the scope gate is
+// open; the others use a neutral path.
+var fixtureCases = []struct {
+	checker    Checker
+	importPath string
+}{
+	{MapOrder{}, "fixture/internal/core/maporder"},
+	{PoolPair{}, "fixture/poolpair"},
+	{FloatEq{}, "fixture/floateq"},
+	{DropErr{}, "fixture/dropperr"},
+	{LockCheck{}, "fixture/lockcheck"},
+}
+
+// wantRe matches the expectation comments planted in fixtures:
+// `// want "substring of the finding message"`.
+var wantRe = regexp.MustCompile(`//\s*want "([^"]*)"`)
+
+// expectation is one planted `// want` comment, consumed as findings match.
+type expectation struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+// parseWants scans fixture sources for want comments.
+func parseWants(t *testing.T, filenames []string) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, fn := range filenames {
+		data, err := os.ReadFile(fn)
+		if err != nil {
+			t.Fatalf("reading fixture %s: %v", fn, err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			wants = append(wants, &expectation{file: fn, line: i + 1, substr: m[1]})
+		}
+	}
+	return wants
+}
+
+// TestCheckerFixtures runs each checker over its fixture package and matches
+// the findings (after //rkvet:ignore suppression) against the planted
+// expectations, both ways: every finding must be expected, every expectation
+// must fire. A fixture with zero findings fails, which is the unit-level
+// proof that rkvet exits nonzero on each checker's fixture.
+func TestCheckerFixtures(t *testing.T) {
+	for _, tc := range fixtureCases {
+		t.Run(tc.checker.Name(), func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.checker.Name())
+			p, err := LoadPackageDir(dir, tc.importPath)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			findings := Run(p.Mod, []Checker{tc.checker})
+			if len(findings) == 0 {
+				t.Fatalf("fixture produced no findings; the checker cannot fire")
+			}
+			wants := parseWants(t, p.Filenames)
+			for _, f := range findings {
+				matched := false
+				for _, w := range wants {
+					if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && strings.Contains(f.Message, w.substr) {
+						w.matched = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("%s:%d: expected a finding containing %q, got none", w.file, w.line, w.substr)
+				}
+			}
+		})
+	}
+}
+
+// TestFixturesQuietForOtherCheckers pins down checker independence: a
+// fixture built to trip one checker must not trip the others, or the
+// per-checker want matching above silently conflates suites.
+func TestFixturesQuietForOtherCheckers(t *testing.T) {
+	for _, tc := range fixtureCases {
+		t.Run(tc.checker.Name(), func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.checker.Name())
+			p, err := LoadPackageDir(dir, tc.importPath)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			var others []Checker
+			for _, c := range AllCheckers() {
+				if c.Name() != tc.checker.Name() {
+					others = append(others, c)
+				}
+			}
+			for _, f := range Run(p.Mod, others) {
+				t.Errorf("cross-checker finding in %s fixture: %s", tc.checker.Name(), f)
+			}
+		})
+	}
+}
+
+// TestModuleClean is the dogfood gate: the full suite over the real module
+// must report nothing — every true finding is fixed, every intentional
+// exception carries a reasoned //rkvet:ignore. This is the test-shaped twin
+// of `make lint`.
+func TestModuleClean(t *testing.T) {
+	mod, err := Load(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(mod.Pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; module discovery is broken", len(mod.Pkgs))
+	}
+	for _, f := range Run(mod, AllCheckers()) {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestSuppressionScope verifies a suppression is line-scoped: the marker
+// covers its own line and the next, nothing else.
+func TestSuppressionScope(t *testing.T) {
+	p, err := LoadPackageDir(filepath.Join("testdata", "src", "floateq"), "fixture/floateq")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	raw := FloatEq{}.Check(p)
+	filtered := Run(p.Mod, []Checker{FloatEq{}})
+	if len(raw) != len(filtered)+1 {
+		t.Fatalf("suppression dropped %d finding(s), want exactly 1 (raw %d, filtered %d)",
+			len(raw)-len(filtered), len(raw), len(filtered))
+	}
+}
+
+// TestCheckerNames pins the registry: the suite is exactly the five checkers
+// the Makefile, CI, and docs promise.
+func TestCheckerNames(t *testing.T) {
+	got := strings.Join(CheckerNames(), ",")
+	want := "maporder,poolpair,floateq,dropperr,lockcheck"
+	if got != want {
+		t.Fatalf("CheckerNames() = %s, want %s", got, want)
+	}
+}

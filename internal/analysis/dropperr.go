@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DropErr flags error results that are silently discarded in non-test code:
+// assignments to the blank identifier, bare call statements whose results
+// include an error, and deferred calls returning an error. A dropped error
+// in the observe/persist path can turn a rejected instance into a silent
+// context divergence — the explanation then quietly refers to a context the
+// client never saw. Print-family helpers and in-memory writers that cannot
+// fail (strings.Builder, bytes.Buffer) are allowlisted.
+type DropErr struct{}
+
+// Name implements Checker.
+func (DropErr) Name() string { return "dropperr" }
+
+// Check implements Checker.
+func (c DropErr) Check(p *Package) []Finding {
+	var out []Finding
+	for i, file := range p.Files {
+		if strings.HasSuffix(p.Filenames[i], "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.AssignStmt:
+				out = append(out, c.checkAssign(p, node)...)
+			case *ast.ExprStmt:
+				if call, ok := node.X.(*ast.CallExpr); ok {
+					out = append(out, c.checkCallStmt(p, call, "result of")...)
+				}
+			case *ast.DeferStmt:
+				out = append(out, c.checkCallStmt(p, node.Call, "deferred")...)
+			case *ast.GoStmt:
+				out = append(out, c.checkCallStmt(p, node.Call, "goroutine")...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkAssign flags `_`-positions whose assigned value is an error.
+func (c DropErr) checkAssign(p *Package, as *ast.AssignStmt) []Finding {
+	var out []Finding
+	report := func(pos ast.Node) {
+		out = append(out, Finding{
+			Pos:     p.Mod.Fset.Position(pos.Pos()),
+			Checker: c.Name(),
+			Message: "error discarded with _; handle it or document with //rkvet:ignore dropperr <reason>",
+		})
+	}
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// a, _ := f(): look the tuple component up by position.
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || isAllowedCall(p, call) {
+			return nil
+		}
+		tuple, ok := p.Info.TypeOf(call).(*types.Tuple)
+		if !ok || tuple.Len() != len(as.Lhs) {
+			return nil
+		}
+		for i, lhs := range as.Lhs {
+			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+				report(lhs)
+			}
+		}
+		return out
+	}
+	for i, lhs := range as.Lhs {
+		if !isBlank(lhs) || i >= len(as.Rhs) {
+			continue
+		}
+		if call, ok := as.Rhs[i].(*ast.CallExpr); ok && isAllowedCall(p, call) {
+			continue
+		}
+		if isErrorType(p.Info.TypeOf(as.Rhs[i])) {
+			report(lhs)
+		}
+	}
+	return out
+}
+
+// checkCallStmt flags a statement-position call whose results include an
+// error nobody binds.
+func (c DropErr) checkCallStmt(p *Package, call *ast.CallExpr, kind string) []Finding {
+	if isAllowedCall(p, call) {
+		return nil
+	}
+	t := p.Info.TypeOf(call)
+	dropped := false
+	switch rt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if isErrorType(rt.At(i).Type()) {
+				dropped = true
+			}
+		}
+	default:
+		dropped = isErrorType(t)
+	}
+	if !dropped {
+		return nil
+	}
+	return []Finding{{
+		Pos:     p.Mod.Fset.Position(call.Pos()),
+		Checker: c.Name(),
+		Message: fmt.Sprintf("%s call returning error is discarded; handle it or document with //rkvet:ignore dropperr <reason>", kind),
+	}}
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isAllowedCall reports calls whose error is conventionally ignored:
+// fmt's print family, and writes to in-memory sinks that never fail.
+func isAllowedCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if id, ok := sel.X.(*ast.Ident); ok && id.Name == "fmt" {
+		if obj, ok := p.Info.Uses[id].(*types.PkgName); ok && obj.Imported().Path() == "fmt" {
+			return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+		}
+	}
+	// Methods on *strings.Builder / *bytes.Buffer always return nil errors.
+	if t := p.Info.TypeOf(sel.X); t != nil {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj() != nil && named.Obj().Pkg() != nil {
+			path, tn := named.Obj().Pkg().Path(), named.Obj().Name()
+			if (path == "strings" && tn == "Builder") || (path == "bytes" && tn == "Buffer") {
+				return true
+			}
+		}
+	}
+	return false
+}

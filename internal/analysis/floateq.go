@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// FloatEq flags exact equality (==, !=) between floating-point operands.
+// Budget's scale-aware tolerance (PR 1) exists because exact float
+// comparison silently misbehaves as magnitudes grow; the same failure mode
+// hides anywhere a float is compared with ==. Comparisons are allowed inside
+// approved tolerance helpers — the functions whose whole job is to implement
+// an epsilon comparison — and in the NaN idiom `x != x`. Everything else
+// either moves to a helper or documents the exactness argument with
+// //rkvet:ignore floateq <reason>.
+type FloatEq struct{}
+
+// Name implements Checker.
+func (FloatEq) Name() string { return "floateq" }
+
+// toleranceHelperNames are the exact function names approved to contain raw
+// float comparison; names containing "approx" or "almost" (any case) are
+// approved as well.
+var toleranceHelperNames = map[string]bool{
+	"feq":      true,
+	"floatEq":  true,
+	"eqWithin": true,
+	"within":   true,
+}
+
+// isToleranceHelper reports whether a function is on the allowlist.
+func isToleranceHelper(name string) bool {
+	if toleranceHelperNames[name] {
+		return true
+	}
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "approx") || strings.Contains(lower, "almost")
+}
+
+// Check implements Checker.
+func (c FloatEq) Check(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if isToleranceHelper(fn.Name.Name) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				bin, ok := n.(*ast.BinaryExpr)
+				if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(p.Info.TypeOf(bin.X)) && !isFloat(p.Info.TypeOf(bin.Y)) {
+					return true
+				}
+				if sameExprText(bin.X, bin.Y) {
+					return true // `x != x` NaN test (and its == negation)
+				}
+				out = append(out, Finding{
+					Pos:     p.Mod.Fset.Position(bin.OpPos),
+					Checker: c.Name(),
+					Message: fmt.Sprintf("exact float comparison (%s) in %s; use a tolerance helper or document exactness with //rkvet:ignore floateq <reason>", bin.Op, funcName(fn)),
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// sameExprText reports whether two expressions are textually identical
+// identifier/selector chains (the NaN-test idiom).
+func sameExprText(a, b ast.Expr) bool {
+	return exprChain(a) != "" && exprChain(a) == exprChain(b)
+}
+
+// exprChain renders ident/selector/index chains like "s.x[i]"; other shapes
+// return "".
+func exprChain(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.SelectorExpr:
+		base := exprChain(t.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + t.Sel.Name
+	case *ast.IndexExpr:
+		base, idx := exprChain(t.X), exprChain(t.Index)
+		if base == "" || idx == "" {
+			return ""
+		}
+		return base + "[" + idx + "]"
+	}
+	return ""
+}

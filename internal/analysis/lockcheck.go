@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockCheck verifies documented lock discipline: a struct field annotated
+// with a trailing or doc comment containing "guarded by <mu>" may only be
+// read in methods that call <mu>.Lock() or <mu>.RLock() on the same
+// receiver, and only written in methods that call <mu>.Lock(). Methods whose
+// name ends in "Locked" are exempt by convention — their contract is that
+// the caller already holds the lock (e.g. service.observeLocked). The check
+// is flow-insensitive on purpose: it enforces the documented pairing, not a
+// full happens-before analysis, which is what keeps it fast enough to run on
+// every CI push alongside the race detector.
+type LockCheck struct{}
+
+// Name implements Checker.
+func (LockCheck) Name() string { return "lockcheck" }
+
+const guardMarker = "guarded by "
+
+// guardedField records one annotated field of a struct type.
+type guardedField struct {
+	mutex string // name of the guarding mutex field
+}
+
+// Check implements Checker.
+func (c LockCheck) Check(p *Package) []Finding {
+	guards := collectGuards(p)
+	if len(guards) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil || len(fn.Recv.List) != 1 {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue
+			}
+			recvType := recvTypeName(fn.Recv.List[0].Type)
+			fields, ok := guards[recvType]
+			if !ok || len(fn.Recv.List[0].Names) == 0 {
+				continue
+			}
+			recvObj := p.Info.Defs[fn.Recv.List[0].Names[0]]
+			if recvObj == nil {
+				continue
+			}
+			locked, rlocked := lockedMutexes(p, fn.Body, recvObj)
+			for _, acc := range receiverAccesses(p, fn.Body, recvObj, fields) {
+				g := fields[acc.field]
+				switch {
+				case acc.write && !locked[g.mutex]:
+					out = append(out, Finding{
+						Pos:     p.Mod.Fset.Position(acc.pos),
+						Checker: c.Name(),
+						Message: fmt.Sprintf("%s writes %s.%s (guarded by %s) without %s.Lock(); lock it, rename the method *Locked, or document with //rkvet:ignore lockcheck <reason>", fn.Name.Name, recvType, acc.field, g.mutex, g.mutex),
+					})
+				case !acc.write && !locked[g.mutex] && !rlocked[g.mutex]:
+					out = append(out, Finding{
+						Pos:     p.Mod.Fset.Position(acc.pos),
+						Checker: c.Name(),
+						Message: fmt.Sprintf("%s reads %s.%s (guarded by %s) without holding %s; lock it, rename the method *Locked, or document with //rkvet:ignore lockcheck <reason>", fn.Name.Name, recvType, acc.field, g.mutex, g.mutex),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// collectGuards scans struct declarations for "guarded by <mu>" field
+// annotations, returning struct name → field name → guard.
+func collectGuards(p *Package) map[string]map[string]guardedField {
+	guards := map[string]map[string]guardedField{}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					m := guards[ts.Name.Name]
+					if m == nil {
+						m = map[string]guardedField{}
+						guards[ts.Name.Name] = m
+					}
+					m[name.Name] = guardedField{mutex: mu}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or trailing
+// comment, or "" when the field is unannotated.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		text := cg.Text()
+		idx := strings.Index(text, guardMarker)
+		if idx < 0 {
+			continue
+		}
+		rest := strings.Fields(text[idx+len(guardMarker):])
+		if len(rest) > 0 {
+			return strings.TrimRight(rest[0], ".,;")
+		}
+	}
+	return ""
+}
+
+// lockedMutexes returns the receiver mutex fields on which body calls
+// Lock() (locked) or RLock() (rlocked).
+func lockedMutexes(p *Package, body *ast.BlockStmt, recvObj types.Object) (locked, rlocked map[string]bool) {
+	locked, rlocked = map[string]bool{}, map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := inner.X.(*ast.Ident)
+		if !ok || p.Info.Uses[id] != recvObj {
+			return true
+		}
+		if sel.Sel.Name == "Lock" {
+			locked[inner.Sel.Name] = true
+		} else {
+			rlocked[inner.Sel.Name] = true
+		}
+		return true
+	})
+	return locked, rlocked
+}
+
+// fieldAccess is one read or write of a guarded receiver field.
+type fieldAccess struct {
+	field string
+	write bool
+	pos   token.Pos
+}
+
+// receiverAccesses collects accesses to the guarded fields through the
+// receiver identifier, classifying assignment targets, IncDec operands, and
+// address-taken fields as writes.
+func receiverAccesses(p *Package, body *ast.BlockStmt, recvObj types.Object, fields map[string]guardedField) []fieldAccess {
+	writes := map[*ast.SelectorExpr]bool{}
+	markWrite := func(e ast.Expr) {
+		if sel, ok := e.(*ast.SelectorExpr); ok {
+			writes[sel] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				markWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			markWrite(node.X)
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				markWrite(node.X)
+			}
+		}
+		return true
+	})
+	var out []fieldAccess
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || p.Info.Uses[id] != recvObj {
+			return true
+		}
+		if _, guarded := fields[sel.Sel.Name]; !guarded {
+			return true
+		}
+		out = append(out, fieldAccess{field: sel.Sel.Name, write: writes[sel], pos: sel.Pos()})
+		return true
+	})
+	return out
+}

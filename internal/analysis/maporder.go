@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags map iterations whose nondeterministic order can flow into
+// key construction, posting lists, or serialized output inside the
+// key-producing packages. Go randomizes map iteration order on purpose; a
+// relative key assembled by appending inside `for k := range m` therefore
+// differs run to run, breaking the byte-identical key determinism the
+// differential oracle of PR 1 established. Iterate a sorted key slice
+// (internal/sortedkeys) instead, or suppress with a reason when the sink is
+// genuinely order-insensitive.
+type MapOrder struct{}
+
+// Name implements Checker.
+func (MapOrder) Name() string { return "maporder" }
+
+// mapOrderScope lists the import-path fragments of packages where map order
+// reaching a sink is a determinism bug: everywhere keys are built,
+// maintained, or persisted.
+var mapOrderScope = []string{
+	"/internal/core",
+	"/internal/cce",
+	"/internal/explain",
+	"/internal/persist",
+}
+
+// inMapOrderScope reports whether the package produces or persists keys.
+func inMapOrderScope(importPath string) bool {
+	for _, frag := range mapOrderScope {
+		if strings.Contains(importPath, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// Check implements Checker.
+func (c MapOrder) Check(p *Package) []Finding {
+	if !inMapOrderScope(p.ImportPath) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink := orderSink(p, rng); sink != "" {
+				out = append(out, Finding{
+					Pos:     p.Mod.Fset.Position(rng.Pos()),
+					Checker: c.Name(),
+					Message: fmt.Sprintf("map iteration order flows into %s; iterate sorted keys (internal/sortedkeys) or document with //rkvet:ignore maporder <reason>", sink),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// orderSink scans a map-range body for constructs whose result depends on
+// iteration order and names the first one found, or "" when the body is
+// order-insensitive (counting, max-of-values, building another map, ...).
+func orderSink(p *Package, rng *ast.RangeStmt) string {
+	keyObj := rangeVarObject(p, rng.Key)
+	sink := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			switch fn := node.Fun.(type) {
+			case *ast.Ident:
+				if fn.Name == "append" && isBuiltin(p, fn) {
+					sink = "append"
+				}
+			case *ast.SelectorExpr:
+				name := fn.Sel.Name
+				switch {
+				case name == "Write" || name == "WriteString" || name == "WriteByte" || name == "WriteRune":
+					sink = "a stream " + name
+				case strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Sprint") || strings.HasPrefix(name, "Print"):
+					if id, ok := fn.X.(*ast.Ident); ok && id.Name == "fmt" {
+						sink = "fmt." + name + " output"
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// s += ... on a string accumulates in iteration order.
+			if node.Tok == token.ADD_ASSIGN && len(node.Lhs) == 1 {
+				if t := p.Info.TypeOf(node.Lhs[0]); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						sink = "string concatenation"
+					}
+				}
+			}
+			// bestK = k (argmax and friends): which key escapes is decided by
+			// iteration order when values tie.
+			if node.Tok == token.ASSIGN && keyObj != nil && keyEscapes(p, node, keyObj, rng.Pos()) {
+				sink = "an outer variable via the loop key (order-dependent tie-break)"
+			}
+		case *ast.SendStmt:
+			sink = "a channel send"
+		}
+		return sink == ""
+	})
+	return sink
+}
+
+// rangeVarObject resolves the object of a range key/value variable.
+func rangeVarObject(p *Package, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Uses[id]
+}
+
+// keyEscapes reports whether the assignment copies the range key, as a bare
+// identifier, into a plain variable declared outside the range statement —
+// the argmax/tie-break shape `best = k`. Richer right-hand sides (calls,
+// composites) are left to the dedicated sink checks, and index targets
+// (m2[k] = v) are order-insensitive keyed-collection building.
+func keyEscapes(p *Package, as *ast.AssignStmt, keyObj types.Object, rangePos token.Pos) bool {
+	if len(as.Lhs) != len(as.Rhs) {
+		return false
+	}
+	for i, rhs := range as.Rhs {
+		id, ok := rhs.(*ast.Ident)
+		if !ok || p.Info.Uses[id] != keyObj {
+			continue
+		}
+		lhs, ok := as.Lhs[i].(*ast.Ident)
+		if !ok || lhs.Name == "_" {
+			continue
+		}
+		if obj := p.Info.Uses[lhs]; obj != nil && obj.Pos() < rangePos {
+			return true
+		}
+	}
+	return false
+}
+
+// isBuiltin reports whether id resolves to a universe-scope builtin.
+func isBuiltin(p *Package, id *ast.Ident) bool {
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}

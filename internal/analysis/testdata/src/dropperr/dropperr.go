@@ -1,0 +1,57 @@
+// Package dropperr exercises the dropperr checker: errors discarded via the
+// blank identifier or unassigned calls are flagged outside tests; the fmt
+// print family and in-memory writers are allowlisted.
+package dropperr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var errBoom = errors.New("boom")
+
+func fallible() error { return errBoom }
+
+func lookup() (int, error) { return 0, errBoom }
+
+// Discarded drops the tuple's error component with _.
+func Discarded() int {
+	v, _ := lookup() // want "error discarded with _"
+	return v
+}
+
+// Unassigned drops the error by not binding the result at all.
+func Unassigned() {
+	fallible() // want "result of call returning error is discarded"
+}
+
+// Deferred drops a deferred close-style error.
+func Deferred() {
+	defer fallible() // want "deferred call returning error is discarded"
+}
+
+// Spawned drops the error inside a goroutine statement.
+func Spawned() {
+	go fallible() // want "goroutine call returning error is discarded"
+}
+
+// Printing is allowlisted: fmt print-family errors are conventionally
+// ignored.
+func Printing(v int) {
+	fmt.Println(v)
+}
+
+// Building is allowlisted: strings.Builder writes cannot fail.
+func Building(parts []string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+// BestEffort documents the drop with a suppression.
+func BestEffort() {
+	_ = fallible() //rkvet:ignore dropperr best-effort cleanup; failure changes nothing downstream
+}

@@ -1,0 +1,55 @@
+// Package floateq exercises the floateq checker: exact ==/!= on floats is
+// flagged outside approved tolerance helpers and the NaN self-comparison
+// idiom.
+package floateq
+
+import "math"
+
+const eps = 1e-9
+
+// approxEqual is allowlisted because its name contains "approx": a fast
+// exact-equality path inside a tolerance helper is the one sanctioned use.
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= eps*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// within is on the exact-name allowlist.
+func within(a, b, tol float64) bool {
+	return a == b || math.Abs(a-b) < tol
+}
+
+// Converged compares floats exactly in ordinary code: flagged.
+func Converged(prev, cur float64) bool {
+	return prev == cur // want "exact float comparison (==)"
+}
+
+// AnyDiffers uses != on floats: flagged.
+func AnyDiffers(xs []float64) bool {
+	for _, x := range xs {
+		if x != xs[0] { // want "exact float comparison (!=)"
+			return true
+		}
+	}
+	return false
+}
+
+// IsNaN uses the sanctioned self-comparison idiom: no finding.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// Inverse documents its exact-zero guard.
+func Inverse(x float64) float64 {
+	if x == 0 { //rkvet:ignore floateq division-by-zero guard on an exact sentinel
+		return 0
+	}
+	return 1 / x
+}
+
+// keep the helpers referenced so the fixture type-checks without unused-func
+// lint noise in editors.
+var _ = approxEqual
+var _ = within

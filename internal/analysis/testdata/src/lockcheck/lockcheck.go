@@ -1,0 +1,66 @@
+// Package lockcheck exercises the lockcheck checker: fields annotated
+// "guarded by <mu>" may only be read under <mu>.Lock/RLock and written under
+// <mu>.Lock; *Locked methods are exempt by convention.
+package lockcheck
+
+import "sync"
+
+// Counter documents its lock discipline on each mutable field.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	hi int // guarded by mu
+}
+
+// Add locks correctly: no findings.
+func (c *Counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+	if c.n > c.hi {
+		c.hi = c.n
+	}
+}
+
+// Peek reads a guarded field without the lock.
+func (c *Counter) Peek() int {
+	return c.n // want "reads Counter.n (guarded by mu) without holding mu"
+}
+
+// Bump writes a guarded field without the lock.
+func (c *Counter) Bump() {
+	c.n++ // want "writes Counter.n (guarded by mu) without mu.Lock()"
+}
+
+// resetLocked is exempt: the *Locked suffix asserts the caller holds mu.
+func (c *Counter) resetLocked() {
+	c.n = 0
+	c.hi = 0
+}
+
+// Stats distinguishes reader and writer locks.
+type Stats struct {
+	mu  sync.RWMutex
+	sum float64 // guarded by mu
+}
+
+// Mean reads under RLock: fine.
+func (s *Stats) Mean(n int) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sum / float64(n)
+}
+
+// Merge writes under only the reader lock: writes need mu.Lock.
+func (s *Stats) Merge(d float64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.sum += d // want "writes Stats.sum (guarded by mu) without mu.Lock()"
+}
+
+// Snapshot documents an intentional unguarded read.
+func (s *Stats) Snapshot() float64 {
+	return s.sum //rkvet:ignore lockcheck single-threaded snapshot helper for tests
+}
+
+var _ = (&Counter{}).resetLocked

@@ -1,0 +1,95 @@
+// Package maporder exercises the maporder checker: map iterations whose
+// nondeterministic order flows into an order-sensitive sink. The harness
+// loads this directory under a key-producing import path so the scope gate
+// is open; each `// want` comment names a substring of the expected finding.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// KeyFromSet is the classic determinism bug: the key's attribute order is
+// whatever the runtime's map hash produced this run.
+func KeyFromSet(set map[int]bool) []int {
+	var key []int
+	for a := range set { // want "map iteration order flows into append"
+		key = append(key, a)
+	}
+	return key
+}
+
+// Render serializes attributes in iteration order.
+func Render(attrs map[string]int) string {
+	var b strings.Builder
+	for name, v := range attrs { // want "a stream WriteString"
+		b.WriteString(fmt.Sprintf("%s=%d;", name, v))
+	}
+	return b.String()
+}
+
+// Concat accumulates a string in iteration order.
+func Concat(m map[string]int) string {
+	s := ""
+	for k := range m { // want "string concatenation"
+		s += k
+	}
+	return s
+}
+
+// Dump prints entries in iteration order.
+func Dump(m map[int]int) {
+	for k, v := range m { // want "fmt.Println output"
+		fmt.Println(k, v)
+	}
+}
+
+// Stream forwards keys in iteration order.
+func Stream(m map[int]bool, ch chan int) {
+	for k := range m { // want "a channel send"
+		ch <- k
+	}
+}
+
+// ArgMax breaks ties by iteration order: which key escapes into best is
+// decided by the map hash when counts tie.
+func ArgMax(counts map[int]int) int {
+	best, bestC := -1, -1
+	for y, c := range counts { // want "order-dependent tie-break"
+		if c > bestC {
+			best, bestC = y, c
+		}
+	}
+	return best
+}
+
+// Sum is order-insensitive: addition commutes, no finding.
+func Sum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert builds another keyed collection: insertion order is irrelevant to a
+// map, no finding.
+func Invert(m map[int]string) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// SortedKey is the sanctioned fix: collect, sort, then use. The collection
+// append is suppressed with a reason.
+func SortedKey(set map[int]bool) []int {
+	keys := make([]int, 0, len(set))
+	for a := range set { //rkvet:ignore maporder keys are sorted before use
+		keys = append(keys, a)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -1,0 +1,64 @@
+// Package poolpair exercises the poolpair checker: sync.Pool Gets must be
+// matched by Puts on every path, ideally deferred. getBuf/putBuf stand in
+// for the acquire/release wrappers of internal/core (getDisagreeing,
+// putScratch).
+package poolpair
+
+import "sync"
+
+var scratch = sync.Pool{New: func() any { b := make([]int, 0, 64); return &b }}
+
+// getBuf is an acquire wrapper: exempt by name, the caller owns the Put.
+func getBuf() *[]int {
+	return scratch.Get().(*[]int)
+}
+
+// putBuf is a release wrapper.
+func putBuf(b *[]int) {
+	*b = (*b)[:0]
+	scratch.Put(b)
+}
+
+// Leaky acquires directly from the pool and never releases.
+func Leaky() int {
+	b := scratch.Get().(*[]int) // want "no matching Put"
+	return len(*b)
+}
+
+// LeakyViaWrapper leaks through the acquire wrapper.
+func LeakyViaWrapper() int {
+	b := getBuf() // want "no matching Put"
+	return len(*b)
+}
+
+// EarlyReturn releases without defer while having two returns: the error
+// path leaks the scratch object.
+func EarlyReturn(n int) int {
+	b := getBuf() // want "early return leaks"
+	if n < 0 {
+		return 0
+	}
+	putBuf(b)
+	return len(*b)
+}
+
+// Balanced is the blessed pattern: acquire, then defer the release wrapper.
+func Balanced() int {
+	b := getBuf()
+	defer putBuf(b)
+	return len(*b)
+}
+
+// DirectBalanced defers the pool Put itself.
+func DirectBalanced() int {
+	b := scratch.Get().(*[]int)
+	defer scratch.Put(b)
+	return len(*b)
+}
+
+// Handoff transfers ownership out of the function; the leak is intentional
+// and documented.
+func Handoff(sink chan *[]int) {
+	b := getBuf() //rkvet:ignore poolpair ownership transfers through the channel; the receiver releases
+	sink <- b
+}

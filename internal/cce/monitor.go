@@ -2,6 +2,7 @@ package cce
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/xai-db/relativekeys/internal/core"
 	"github.com/xai-db/relativekeys/internal/feature"
@@ -12,15 +13,19 @@ import (
 // A dip in black-box model accuracy (noise, concept drift) manifests as an
 // abnormal rise of the average monitored succinctness — without access to
 // ground-truth labels or the model.
+//
+// DriftMonitor is safe for concurrent use: a serving stack typically feeds
+// it from request handlers while a scraper polls AvgSuccinctness/History.
 type DriftMonitor struct {
 	schema  *feature.Schema
 	alpha   float64
 	panelSz int
 	seed    int64
 
-	monitors []*core.OSRK
-	history  []float64 // average succinctness after each arrival
-	arrivals int
+	mu       sync.RWMutex
+	monitors []*core.OSRK // guarded by mu
+	history  []float64    // guarded by mu; average succinctness after each arrival
+	arrivals int          // guarded by mu
 }
 
 // NewDriftMonitor monitors the keys of the first panelSize distinct-enough
@@ -41,6 +46,8 @@ func (d *DriftMonitor) Observe(li feature.Labeled) error {
 	if err := d.schema.Validate(li.X); err != nil {
 		return err
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if len(d.monitors) < d.panelSz {
 		m, err := core.NewOSRK(d.schema, li.X, li.Y, d.alpha, d.seed+int64(len(d.monitors)))
 		if err != nil {
@@ -54,12 +61,19 @@ func (d *DriftMonitor) Observe(li feature.Labeled) error {
 		}
 	}
 	d.arrivals++
-	d.history = append(d.history, d.AvgSuccinctness())
+	d.history = append(d.history, d.avgSuccinctnessLocked())
 	return nil
 }
 
 // AvgSuccinctness returns the mean key size over the panel.
 func (d *DriftMonitor) AvgSuccinctness() float64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.avgSuccinctnessLocked()
+}
+
+// avgSuccinctnessLocked is AvgSuccinctness for callers already holding d.mu.
+func (d *DriftMonitor) avgSuccinctnessLocked() float64 {
 	if len(d.monitors) == 0 {
 		return 0
 	}
@@ -72,15 +86,23 @@ func (d *DriftMonitor) AvgSuccinctness() float64 {
 
 // History returns the succinctness trajectory (one point per arrival).
 func (d *DriftMonitor) History() []float64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return append([]float64(nil), d.history...)
 }
 
 // Arrivals returns the number of observed instances.
-func (d *DriftMonitor) Arrivals() int { return d.arrivals }
+func (d *DriftMonitor) Arrivals() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.arrivals
+}
 
 // CurveAt samples the history at the given fractions (e.g. 0.1, 0.2, … 1.0),
 // producing the series of Fig. 3l.
 func (d *DriftMonitor) CurveAt(fracs []float64) ([]float64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if len(d.history) == 0 {
 		return nil, fmt.Errorf("cce: no arrivals observed yet")
 	}

@@ -3,6 +3,7 @@ package cce
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"github.com/xai-db/relativekeys/internal/core"
 	"github.com/xai-db/relativekeys/internal/feature"
@@ -43,6 +44,10 @@ func (p Policy) String() string {
 // retires the ΔI oldest rows in place — O(ΔI × attrs) bit operations —
 // instead of re-indexing all |I| rows, so the per-step cost is independent
 // of the window capacity.
+//
+// Window is safe for concurrent use: observers and explainers may run from
+// different goroutines, as a streaming deployment does. All state shares one
+// mutex because Explain both reads the context and writes the policy cache.
 type Window struct {
 	schema   *feature.Schema
 	capacity int
@@ -50,21 +55,22 @@ type Window struct {
 	alpha    float64
 	policy   Policy
 
-	buf  []feature.Labeled // pending arrivals of the current step
-	ring []int             // context slots of window rows, oldest first from head
-	head int
-	size int
+	mu   sync.Mutex
+	buf  []feature.Labeled // guarded by mu; pending arrivals of the current step
+	ring []int             // guarded by mu; context slots of window rows, oldest first from head
+	head int               // guarded by mu
+	size int               // guarded by mu
 
-	ctx     *core.Context // one index, updated in place by advance
-	version int
+	ctx     *core.Context // guarded by mu; one index, updated in place by advance
+	version int           // guarded by mu
 
 	// cache holds per-instance resolved keys across overlapping contexts for
 	// FirstWins/UnionKey (LastWins never reads earlier keys, so it bypasses
 	// the cache entirely). Entries are version-stamped and evicted once no
-	// window overlapping their last resolution remains — see evictStale.
-	cache   map[string]cacheEntry
-	touched map[int][]string // version → ids resolved at that version
-	swept   int              // versions < swept have been drained from touched
+	// window overlapping their last resolution remains — see evictStaleLocked.
+	cache   map[string]cacheEntry // guarded by mu
+	touched map[int][]string      // guarded by mu; version → ids resolved at that version
+	swept   int                   // guarded by mu; versions < swept have been drained from touched
 }
 
 type cacheEntry struct {
@@ -105,19 +111,22 @@ func (w *Window) Observe(li feature.Labeled) error {
 	if err := w.schema.Validate(li.X); err != nil {
 		return err
 	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	w.buf = append(w.buf, li)
 	if len(w.buf) >= w.step {
-		return w.advance()
+		return w.advanceLocked()
 	}
 	return nil
 }
 
-// advance shifts the window by one step, updating the single shared index in
-// place: each of the ΔI arrivals first retires the oldest row when the
-// window is full (clearing its posting-list bits and freeing its slot) and
-// then claims a slot for itself. Total cost O(ΔI × attrs) regardless of
+// advanceLocked shifts the window by one step, updating the single shared
+// index in place: each of the ΔI arrivals first retires the oldest row when
+// the window is full (clearing its posting-list bits and freeing its slot)
+// and then claims a slot for itself. Total cost O(ΔI × attrs) regardless of
 // capacity — the rebuild this replaced re-indexed all |I| rows per step.
-func (w *Window) advance() error {
+// Callers hold w.mu.
+func (w *Window) advanceLocked() error {
 	for _, li := range w.buf {
 		if w.size == w.capacity {
 			if err := w.ctx.Remove(w.ring[w.head]); err != nil {
@@ -135,7 +144,7 @@ func (w *Window) advance() error {
 	}
 	w.buf = w.buf[:0]
 	w.version++
-	w.evictStale()
+	w.evictStaleLocked()
 	return nil
 }
 
@@ -147,13 +156,14 @@ func (w *Window) retentionVersions() int {
 	return (w.capacity+w.step-1)/w.step + 1
 }
 
-// evictStale drops cache entries whose last resolution no longer overlaps
-// the current window. Each Explain logs its id under the then-current
-// version; advancing drains the version buckets that fell past the horizon,
-// deleting entries not re-resolved since. Amortized O(resolutions), so the
-// cache is bounded by the ids explained within one window lifetime instead
-// of growing for the whole stream.
-func (w *Window) evictStale() {
+// evictStaleLocked drops cache entries whose last resolution no longer
+// overlaps the current window. Each Explain logs its id under the
+// then-current version; advancing drains the version buckets that fell past
+// the horizon, deleting entries not re-resolved since. Amortized
+// O(resolutions), so the cache is bounded by the ids explained within one
+// window lifetime instead of growing for the whole stream. Callers hold
+// w.mu.
+func (w *Window) evictStaleLocked() {
 	cutoff := w.version - w.retentionVersions()
 	for v := w.swept; v <= cutoff; v++ {
 		for _, id := range w.touched[v] {
@@ -177,6 +187,8 @@ func (w *Window) Reset() error {
 	if err != nil {
 		return err
 	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	w.buf = w.buf[:0]
 	w.head, w.size = 0, 0
 	w.ctx = ctx
@@ -188,17 +200,32 @@ func (w *Window) Reset() error {
 }
 
 // Version counts window advances so far.
-func (w *Window) Version() int { return w.version }
+func (w *Window) Version() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.version
+}
 
 // Size returns the current window occupancy.
-func (w *Window) Size() int { return w.size }
+func (w *Window) Size() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
 
-// Context exposes the current window context.
-func (w *Window) Context() *core.Context { return w.ctx }
+// Context exposes the current window context. The context is mutated in
+// place by Observe, so callers must not use it concurrently with the
+// observer goroutine; it exists for single-threaded inspection (tests,
+// oracles, offline analysis).
+func (w *Window) Context() *core.Context {
+	return w.ctx //rkvet:ignore lockcheck deliberate unsynchronized escape hatch, documented above
+}
 
 // Items returns the window contents oldest-first (excluding arrivals still
 // buffered before the next advance).
 func (w *Window) Items() []feature.Labeled {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	out := make([]feature.Labeled, 0, w.size)
 	for i := 0; i < w.size; i++ {
 		out = append(out, w.ctx.Item(w.ring[(w.head+i)%w.capacity]))
@@ -207,8 +234,12 @@ func (w *Window) Items() []feature.Labeled {
 }
 
 // Explain computes the key for x (predicted y) relative to the current
-// window and resolves it against earlier keys per the policy.
+// window and resolves it against earlier keys per the policy. It holds the
+// window lock for the SRK run: the context is the mutable shared index, and
+// FirstWins/UnionKey additionally read and write the resolution cache.
 func (w *Window) Explain(x feature.Instance, y feature.Label) (core.Key, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	fresh, err := core.SRK(w.ctx, x, y, w.alpha)
 	if err != nil {
 		return nil, err
@@ -244,7 +275,11 @@ func (w *Window) Explain(x feature.Instance, y feature.Label) (core.Key, error) 
 }
 
 // cacheLen exposes the cache occupancy to tests.
-func (w *Window) cacheLen() int { return len(w.cache) }
+func (w *Window) cacheLen() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.cache)
+}
 
 func instanceID(x feature.Instance, y feature.Label) string {
 	var b strings.Builder

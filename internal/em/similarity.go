@@ -91,14 +91,12 @@ func EditSim(a, b string) float64 {
 // NumSim returns a similarity for two non-negative numerics rendered as
 // strings: 1 − |a−b|/max(a,b), or exact-match fallback for non-numerics.
 func NumSim(a, b float64) float64 {
-	if a == b {
-		return 1
-	}
 	m := a
 	if b > m {
 		m = b
 	}
-	if m == 0 {
+	// Exact zero: both inputs are 0 (they are non-negative), i.e. equal.
+	if m == 0 { //rkvet:ignore floateq 0 is an exact sentinel for "both inputs zero", not a computed quantity
 		return 1
 	}
 	d := a - b

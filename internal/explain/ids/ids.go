@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"github.com/xai-db/relativekeys/internal/feature"
+	"github.com/xai-db/relativekeys/internal/sortedkeys"
 )
 
 // Condition is one feature=value conjunct.
@@ -176,9 +177,12 @@ func mine(schema *feature.Schema, data []feature.Labeled, cfg Config) []Rule {
 		if cover < minCover {
 			return
 		}
+		// Argmax over sorted labels: ties break toward the smaller label code
+		// instead of whichever key Go's randomized map order yields first, so
+		// the mined rule set is identical across runs.
 		bestY, bestC := feature.Label(0), -1
-		for y, c := range counts {
-			if c > bestC {
+		for _, y := range sortedkeys.Of(counts) {
+			if c := counts[y]; c > bestC {
 				bestY, bestC = y, c
 			}
 		}

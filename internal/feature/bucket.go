@@ -43,10 +43,22 @@ func FitBuckets(values []float64, k int) (*Bucketer, error) {
 	return NewBucketer(lo, hi, k)
 }
 
-// Bucket maps a numeric value to its bucket code in [0, K).
+// Bucket maps a numeric value to its bucket code in [0, K). Values at or
+// outside the fitted range clamp to the edge buckets, including ±Inf; NaN
+// lands in bucket 0.
 func (b *Bucketer) Bucket(v float64) Value {
-	if b.Hi == b.Lo {
+	// A degenerate range collapses every value into bucket 0; the bounds are
+	// stored, never computed, so exact comparison is the correct test.
+	if b.Hi == b.Lo { //rkvet:ignore floateq stored bounds, degenerate-range sentinel
 		return 0
+	}
+	// Clamp before the formula: int(±Inf) is implementation-specific, so an
+	// infinite v must never reach the conversion below.
+	if v <= b.Lo {
+		return 0
+	}
+	if v >= b.Hi {
+		return Value(b.K - 1)
 	}
 	idx := int(float64(b.K) * (v - b.Lo) / (b.Hi - b.Lo))
 	if idx < 0 {
@@ -100,8 +112,9 @@ func QuantileBuckets(values []float64, k int) ([]float64, error) {
 func BucketByCuts(cuts []float64, v float64) Value {
 	i := sort.SearchFloat64s(cuts, v)
 	// SearchFloat64s returns the insertion point; values equal to a cut go to
-	// the bucket above, matching half-open intervals.
-	for i < len(cuts) && cuts[i] == v {
+	// the bucket above, matching half-open intervals. The comparison is exact
+	// on purpose: it asks "is v this stored cut", not "is v close to it".
+	for i < len(cuts) && cuts[i] == v { //rkvet:ignore floateq boundary identity against a stored cut, not a computed quantity
 		i++
 	}
 	return Value(i)

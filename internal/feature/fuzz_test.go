@@ -1,0 +1,80 @@
+package feature
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// FuzzBucketer checks the discretizer's contract on arbitrary ranges and
+// probes: every code lands in [0, K), bucketing is monotone, and the nominal
+// center of a bucket maps back to that bucket (the round-trip that keeps
+// rendered bucket labels truthful).
+func FuzzBucketer(f *testing.F) {
+	f.Add(0.0, 1.0, uint8(4), 0.25, 0.75)
+	f.Add(-5.0, 5.0, uint8(10), -5.0, 5.0)
+	f.Add(3.0, 3.0, uint8(2), 3.0, 4.0)
+	f.Add(0.0, 1e300, uint8(7), 1e299, -1e299)
+	f.Fuzz(func(t *testing.T, lo, hi float64, k uint8, v, w float64) {
+		b, err := NewBucketer(lo, hi, int(k%16)+1)
+		if err != nil {
+			t.Skip("invalid range rejected up front")
+		}
+		cv := b.Bucket(v)
+		if cv < 0 || int(cv) >= b.K {
+			t.Fatalf("Bucket(%v) = %d outside [0,%d)", v, cv, b.K)
+		}
+		if !math.IsNaN(v) && !math.IsNaN(w) {
+			x, y := v, w
+			if x > y {
+				x, y = y, x
+			}
+			if b.Bucket(x) > b.Bucket(y) {
+				t.Fatalf("Bucket not monotone: Bucket(%v)=%d > Bucket(%v)=%d", x, b.Bucket(x), y, b.Bucket(y))
+			}
+		}
+		// Round-trip is only meaningful when one bucket width is resolvable at
+		// the magnitude of the endpoints (width above their ulp).
+		width := (b.Hi - b.Lo) / float64(b.K)
+		if !isFiniteF(width) || width <= 0 || b.Lo+width == b.Lo || b.Hi-width == b.Hi {
+			return
+		}
+		for i := 0; i < b.K; i++ {
+			center := b.Lo + (float64(i)+0.5)*width
+			if got := b.Bucket(center); int(got) != i {
+				t.Fatalf("round-trip: center of bucket %d maps to %d (lo=%v hi=%v k=%d)", i, got, b.Lo, b.Hi, b.K)
+			}
+		}
+	})
+}
+
+// FuzzBucketByCuts checks the half-open interval invariant of the quantile
+// path: for code i, every cut below i is ≤ v and the cut at i (if any) is
+// strictly greater.
+func FuzzBucketByCuts(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 2.0)
+	f.Add(0.0, 0.0, 0.0, 0.0)
+	f.Add(-1.5, 2.5, 7.25, 7.25)
+	f.Fuzz(func(t *testing.T, c1, c2, c3, v float64) {
+		if math.IsNaN(c1) || math.IsNaN(c2) || math.IsNaN(c3) || math.IsNaN(v) {
+			t.Skip("cut invariants are defined on ordered values")
+		}
+		cuts := []float64{c1, c2, c3}
+		sort.Float64s(cuts)
+		i := int(BucketByCuts(cuts, v))
+		if i < 0 || i > len(cuts) {
+			t.Fatalf("BucketByCuts(%v, %v) = %d outside [0,%d]", cuts, v, i, len(cuts))
+		}
+		if i > 0 && !(cuts[i-1] <= v) {
+			t.Fatalf("BucketByCuts(%v, %v) = %d but cuts[%d]=%v > v", cuts, v, i, i-1, cuts[i-1])
+		}
+		if i < len(cuts) && !(cuts[i] > v) {
+			t.Fatalf("BucketByCuts(%v, %v) = %d but cuts[%d]=%v ≤ v", cuts, v, i, i, cuts[i])
+		}
+	})
+}
+
+// isFiniteF reports whether f is neither NaN nor ±Inf.
+func isFiniteF(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}

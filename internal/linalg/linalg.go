@@ -36,7 +36,9 @@ func Solve(a [][]float64, b []float64) ([]float64, error) {
 		inv := 1 / a[col][col]
 		for r := col + 1; r < n; r++ {
 			f := a[r][col] * inv
-			if f == 0 {
+			// Exact zero multiplier: the row update is a no-op, skip it. A
+			// tolerance here would *change* the elimination, not guard it.
+			if f == 0 { //rkvet:ignore floateq exact-zero fast path, result identical either way
 				continue
 			}
 			for c := col; c < n; c++ {

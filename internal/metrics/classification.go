@@ -66,7 +66,9 @@ func (c Confusion) RecallPos() float64 {
 // F1 returns the harmonic mean of positive precision and recall.
 func (c Confusion) F1() float64 {
 	p, r := c.PrecisionPos(), c.RecallPos()
-	if p+r == 0 {
+	// p and r are ratios of counts: both are exactly 0 when no positives
+	// exist, making the harmonic mean undefined — exact test intended.
+	if p+r == 0 { //rkvet:ignore floateq division-by-zero guard on exact zeros
 		return 0
 	}
 	return 2 * p * r / (p + r)

@@ -43,7 +43,7 @@ func (c *Client) Stats() (*StatsResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //rkvet:ignore dropperr read-side body close; nothing to recover
 	if resp.StatusCode != http.StatusOK {
 		return nil, httpError(resp)
 	}
@@ -63,7 +63,7 @@ func (c *Client) post(path string, req, out any) error {
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //rkvet:ignore dropperr read-side body close; nothing to recover
 	if resp.StatusCode != http.StatusOK {
 		return httpError(resp)
 	}
@@ -71,6 +71,6 @@ func (c *Client) post(path string, req, out any) error {
 }
 
 func httpError(resp *http.Response) error {
-	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096)) //rkvet:ignore dropperr best-effort read of the error body; the status line already carries the failure
 	return fmt.Errorf("service: %s: %s", resp.Status, bytes.TrimSpace(msg))
 }

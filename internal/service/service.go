@@ -34,12 +34,12 @@ type Server struct {
 	retain int // max live context rows; 0 = grow forever
 
 	mu      sync.RWMutex
-	ctx     *core.Context
-	monitor driftObserver
+	ctx     *core.Context // guarded by mu
+	monitor driftObserver // guarded by mu
 
 	// order tracks live context slots oldest-first when retention is on.
-	order     []int
-	orderHead int
+	order     []int // guarded by mu
+	orderHead int   // guarded by mu
 }
 
 // New builds a server with an empty, unbounded context.
@@ -236,7 +236,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	alpha := s.alpha
-	if req.Alpha != 0 {
+	// 0 is encoding/json's omitted-field value: "use the server default".
+	// Any explicitly sent alpha, valid or not, goes through validation.
+	if req.Alpha != 0 { //rkvet:ignore floateq 0 is the JSON omitted-field sentinel
 		if err := core.ValidateAlpha(req.Alpha); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
