@@ -5,7 +5,7 @@ GO ?= go
 # One ~10s native-fuzz burst per target; see fuzz-smoke.
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet lint race bench tier1 fuzz-smoke ci
+.PHONY: all build test vet lint race bench tier1 fuzz-smoke chaos-smoke ci
 
 all: ci
 
@@ -46,6 +46,14 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzBucketByCuts    -fuzztime=$(FUZZTIME) ./internal/feature/
 	$(GO) test -run=NONE -fuzz=FuzzContextRemoveAdd -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -run=NONE -fuzz=FuzzSolver          -fuzztime=$(FUZZTIME) ./internal/sat/
+
+# The fault-injection suite under the race detector: deadline degradation,
+# crash recovery from torn logs, load shedding, panic survival, and the
+# concurrent rollback invariant, all with injected solver/monitor/log faults
+# (internal/faultinject). -short keeps the request volume CI-sized.
+chaos-smoke:
+	$(GO) test -race -short -run 'Chaos|Robust|Recovery|Degrade|Shed|Panic|Torn|Deadline|Closed' \
+		./internal/service/ ./internal/faultinject/ ./internal/persist/
 
 # Tier-1 gate from ROADMAP.md.
 tier1: build test

@@ -6,16 +6,26 @@
 // Usage:
 //
 //	cceserver [-addr :8080] [-dataset loan] [-alpha 1.0] [-panel 10] [-retain 0] [-warm]
+//	          [-deadline 0] [-min-deadline 0] [-max-inflight 0]
+//	          [-state DIR] [-snapshot-every 256] [-wal-sync-every 1]
 //
 // Endpoints: GET /schema, POST /observe, POST /explain, GET /stats.
+//
+// SIGINT/SIGTERM drain gracefully: in-flight requests finish, the final
+// state is snapshotted, and the observation log is closed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"github.com/xai-db/relativekeys/internal/dataset"
 	"github.com/xai-db/relativekeys/internal/feature"
@@ -32,6 +42,14 @@ func main() {
 		panel  = flag.Int("panel", 10, "drift-monitor panel size (0 disables)")
 		retain = flag.Int("retain", 0, "keep only the most recent N observations in the context (0 = unbounded)")
 		warm   = flag.Bool("warm", false, "pre-populate the context with a trained model's inference log")
+
+		deadline    = flag.Duration("deadline", 0, "default per-explain solve deadline; past it the answer degrades to a larger-but-valid key (0 = none)")
+		minDeadline = flag.Duration("min-deadline", 0, "hard floor: explains asking for less shed with 503 (0 = none)")
+		maxInflight = flag.Int("max-inflight", 0, "bound on concurrent explains; excess sheds with 429 (0 = unbounded)")
+
+		stateDir      = flag.String("state", "", "directory for crash-safe state (snapshot + observation log); empty disables persistence")
+		snapshotEvery = flag.Int("snapshot-every", 256, "observations between atomic snapshots")
+		walSyncEvery  = flag.Int("wal-sync-every", 1, "observation-log appends per fsync (1 = sync every observation)")
 	)
 	flag.Parse()
 
@@ -53,9 +71,23 @@ func main() {
 		log.Fatal(err)
 	}
 
-	srv, err := service.NewWithRetention(ds.Schema, *alpha, *panel, *retain)
+	srv, err := service.NewServer(service.Config{
+		Schema:          ds.Schema,
+		Alpha:           *alpha,
+		PanelSize:       *panel,
+		Retain:          *retain,
+		DefaultDeadline: *deadline,
+		MinDeadline:     *minDeadline,
+		MaxInFlight:     *maxInflight,
+		StateDir:        *stateDir,
+		SnapshotEvery:   *snapshotEvery,
+		WALSyncEvery:    *walSyncEvery,
+	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if recovered := srv.Seq(); recovered > 0 {
+		fmt.Printf("recovered %d observations from %s\n", recovered, *stateDir)
 	}
 	if *warm {
 		m, err := model.TrainForest(ds.Schema, ds.Train(), model.ForestConfig{Seed: 1})
@@ -70,7 +102,27 @@ func main() {
 	}
 	fmt.Printf("CCE service for %s (%d features, α=%.2f) listening on %s\n",
 		ds.Name, ds.Schema.NumFeatures(), *alpha, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Println("draining: waiting for in-flight requests, then snapshotting")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Fatalf("final snapshot: %v", err)
+	}
+	fmt.Println("state saved; bye")
 }
 
 // instances extracts the test-split instances (the inference set).

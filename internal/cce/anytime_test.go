@@ -1,0 +1,133 @@
+package cce
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/xai-db/relativekeys/internal/core"
+)
+
+func cancelledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+// An expired deadline must still yield valid keys for every batch item, with
+// the degraded count reflecting the anytime completions.
+func TestBatchExplainAllCtxDegraded(t *testing.T) {
+	s := testSchema(t)
+	rng := rand.New(rand.NewSource(2))
+	inference := randomStream(rng, s, 400)
+	b, err := NewBatch(s, inference, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, numDegraded, err := b.ExplainAllCtx(cancelledCtx(), inference[:50], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numDegraded == 0 {
+		t.Fatal("expired context produced no degraded keys")
+	}
+	for i, key := range keys {
+		if key == nil {
+			continue // conflicts beyond budget
+		}
+		if !core.IsAlphaKey(b.Ctx, inference[i].X, inference[i].Y, key, 0.9) {
+			t.Fatalf("item %d: degraded key %v not conformant", i, key)
+		}
+	}
+	// Background-context runs must match plain ExplainAll (no degradation).
+	keysBg, n, err := b.ExplainAllCtx(context.Background(), inference[:50], 4)
+	if err != nil || n != 0 {
+		t.Fatalf("background run: degraded=%d err=%v", n, err)
+	}
+	plain, err := b.ExplainAll(inference[:50], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if (plain[i] == nil) != (keysBg[i] == nil) || !plain[i].Equal(keysBg[i]) {
+			t.Fatalf("item %d: ctx run diverged: %v vs %v", i, keysBg[i], plain[i])
+		}
+	}
+}
+
+// Degraded window explains must not poison the FirstWins resolution cache:
+// the first *undeadlined* key is the one that sticks.
+func TestWindowDegradedBypassesCache(t *testing.T) {
+	s := testSchema(t)
+	rng := rand.New(rand.NewSource(3))
+	w, err := NewWindow(s, 64, 16, 0.9, FirstWins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, li := range randomStream(rng, s, 64) {
+		if err := w.Observe(li); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe := randomStream(rng, s, 1)[0]
+	degradedKey, degraded, err := w.ExplainCtx(cancelledCtx(), probe.X, probe.Y)
+	if err == core.ErrNoKey {
+		t.Skip("probe conflicts beyond budget for this draw")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !degraded {
+		t.Fatal("expired context did not degrade")
+	}
+	if w.cacheLen() != 0 {
+		t.Fatalf("degraded explain wrote the cache (%d entries)", w.cacheLen())
+	}
+	// The undeadlined explain resolves fresh — not frozen to the degraded key —
+	// and that resolution is what FirstWins then pins.
+	fresh, degraded, err := w.ExplainCtx(context.Background(), probe.X, probe.Y)
+	if err != nil || degraded {
+		t.Fatalf("fresh explain: degraded=%v err=%v", degraded, err)
+	}
+	if len(fresh) > len(degradedKey) {
+		t.Fatalf("greedy key %v larger than degraded completion %v", fresh, degradedKey)
+	}
+	if w.cacheLen() != 1 {
+		t.Fatalf("undeadlined explain must cache under FirstWins, cache=%d", w.cacheLen())
+	}
+	pinned, _, err := w.ExplainCtx(context.Background(), probe.X, probe.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pinned.Equal(fresh) {
+		t.Fatalf("FirstWins pinned %v, want %v", pinned, fresh)
+	}
+}
+
+// DriftMonitor.ObserveCtx under an expired deadline still admits arrivals and
+// keeps every panel candidate coherent.
+func TestDriftMonitorObserveCtx(t *testing.T) {
+	s := testSchema(t)
+	rng := rand.New(rand.NewSource(4))
+	d, err := NewDriftMonitor(s, 1.0, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expired := cancelledCtx()
+	sawDegraded := false
+	for _, li := range randomStream(rng, s, 80) {
+		n, err := d.ObserveCtx(expired, li)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > 0 {
+			sawDegraded = true
+		}
+	}
+	if d.Arrivals() != 80 {
+		t.Fatalf("arrivals = %d, want 80", d.Arrivals())
+	}
+	if !sawDegraded {
+		t.Fatal("expired context never degraded a panel monitor")
+	}
+}

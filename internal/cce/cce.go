@@ -8,6 +8,7 @@
 package cce
 
 import (
+	"context"
 	"runtime"
 	"strings"
 	"sync"
@@ -44,11 +45,29 @@ func (b *Batch) Explain(x feature.Instance, y feature.Label) (core.Key, error) {
 	return core.SRK(b.Ctx, x, y, b.Alpha)
 }
 
+// ExplainCtx is Explain under a deadline: the solve is cancellable, and an
+// expired context degrades to a valid-but-less-succinct key (degraded=true)
+// instead of erroring — the deployment contract of a client-side service that
+// must answer every query within its latency budget.
+func (b *Batch) ExplainCtx(ctx context.Context, x feature.Instance, y feature.Label) (core.Key, bool, error) {
+	return core.SRKAnytime(ctx, b.Ctx, x, y, b.Alpha)
+}
+
 // ExplainAll explains many instances concurrently across workers goroutines
 // (0 means GOMAXPROCS). The context is read-only during batch explanation, so
 // SRK runs are embarrassingly parallel. Instances whose conflicts exceed the
 // α budget get a nil key rather than failing the batch; other errors abort.
 func (b *Batch) ExplainAll(items []feature.Labeled, workers int) ([]core.Key, error) {
+	keys, _, err := b.ExplainAllCtx(context.Background(), items, workers)
+	return keys, err
+}
+
+// ExplainAllCtx is ExplainAll under a deadline shared by the whole batch.
+// Every item still gets a valid key: once the deadline passes, the remaining
+// solves take the cheap anytime completion path, so the batch finishes within
+// roughly one extra greedy round per item instead of hanging. The second
+// return is the number of degraded keys.
+func (b *Batch) ExplainAllCtx(ctx context.Context, items []feature.Labeled, workers int) ([]core.Key, int, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -57,7 +76,7 @@ func (b *Batch) ExplainAll(items []feature.Labeled, workers int) ([]core.Key, er
 	}
 	keys := make([]core.Key, len(items))
 	errs := make([]error, len(items))
-	var next atomic.Int64
+	var next, numDegraded atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -68,7 +87,10 @@ func (b *Batch) ExplainAll(items []feature.Labeled, workers int) ([]core.Key, er
 				if i >= len(items) {
 					return
 				}
-				key, err := b.Explain(items[i].X, items[i].Y)
+				key, degraded, err := b.ExplainCtx(ctx, items[i].X, items[i].Y)
+				if degraded {
+					numDegraded.Add(1)
+				}
 				if err == core.ErrNoKey {
 					continue // keys[i] stays nil
 				}
@@ -79,10 +101,10 @@ func (b *Batch) ExplainAll(items []feature.Labeled, workers int) ([]core.Key, er
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, int(numDegraded.Load()), err
 		}
 	}
-	return keys, nil
+	return keys, int(numDegraded.Load()), nil
 }
 
 // ExplainRow explains the i-th context instance.

@@ -1,6 +1,7 @@
 package cce
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -43,26 +44,39 @@ func NewDriftMonitor(schema *feature.Schema, alpha float64, panelSize int, seed 
 // Observe feeds one arrival to every panel monitor (enrolling it as a new
 // target first while the panel is filling).
 func (d *DriftMonitor) Observe(li feature.Labeled) error {
+	_, err := d.ObserveCtx(context.Background(), li)
+	return err
+}
+
+// ObserveCtx is Observe under a deadline: each panel OSRK stops its grow loop
+// when ctx expires, keeping its coherent candidate and catching up on later
+// arrivals. The return counts the panel monitors that degraded this arrival.
+func (d *DriftMonitor) ObserveCtx(ctx context.Context, li feature.Labeled) (int, error) {
 	if err := d.schema.Validate(li.X); err != nil {
-		return err
+		return 0, err
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if len(d.monitors) < d.panelSz {
 		m, err := core.NewOSRK(d.schema, li.X, li.Y, d.alpha, d.seed+int64(len(d.monitors)))
 		if err != nil {
-			return err
+			return 0, err
 		}
 		d.monitors = append(d.monitors, m)
 	}
+	numDegraded := 0
 	for _, m := range d.monitors {
-		if _, err := m.Observe(li); err != nil {
-			return err
+		_, degraded, err := m.ObserveCtx(ctx, li)
+		if err != nil {
+			return numDegraded, err
+		}
+		if degraded {
+			numDegraded++
 		}
 	}
 	d.arrivals++
 	d.history = append(d.history, d.avgSuccinctnessLocked())
-	return nil
+	return numDegraded, nil
 }
 
 // AvgSuccinctness returns the mean key size over the panel.

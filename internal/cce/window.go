@@ -1,6 +1,7 @@
 package cce
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -238,16 +239,27 @@ func (w *Window) Items() []feature.Labeled {
 // window lock for the SRK run: the context is the mutable shared index, and
 // FirstWins/UnionKey additionally read and write the resolution cache.
 func (w *Window) Explain(x feature.Instance, y feature.Label) (core.Key, error) {
+	key, _, err := w.ExplainCtx(context.Background(), x, y)
+	return key, err
+}
+
+// ExplainCtx is Explain under a deadline. An expired context degrades the
+// solve to a valid-but-less-succinct key (degraded=true). Degraded keys are
+// served but never written to the resolution cache: FirstWins would otherwise
+// freeze an oversized key as the instance's answer forever, and UnionKey
+// would permanently bloat the union — both policies resolve degraded queries
+// against the cache read-only and heal on the next undeadlined Explain.
+func (w *Window) ExplainCtx(ctx context.Context, x feature.Instance, y feature.Label) (core.Key, bool, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	fresh, err := core.SRK(w.ctx, x, y, w.alpha)
+	fresh, degraded, err := core.SRKAnytime(ctx, w.ctx, x, y, w.alpha)
 	if err != nil {
-		return nil, err
+		return nil, degraded, err
 	}
 	if w.policy == LastWins {
 		// The latest key wins unconditionally: earlier resolutions are never
 		// consulted, so caching them would only consume memory.
-		return fresh, nil
+		return fresh, degraded, nil
 	}
 	id := instanceID(x, y)
 	prev, seen := w.cache[id]
@@ -267,11 +279,13 @@ func (w *Window) Explain(x feature.Instance, y feature.Label) (core.Key, error) 
 			resolved = fresh
 		}
 	default:
-		return nil, fmt.Errorf("cce: unknown policy %v", w.policy)
+		return nil, false, fmt.Errorf("cce: unknown policy %v", w.policy)
 	}
-	w.cache[id] = cacheEntry{key: resolved, version: w.version}
-	w.touched[w.version] = append(w.touched[w.version], id)
-	return resolved.Clone(), nil
+	if !degraded {
+		w.cache[id] = cacheEntry{key: resolved, version: w.version}
+		w.touched[w.version] = append(w.touched[w.version], id)
+	}
+	return resolved.Clone(), degraded, nil
 }
 
 // cacheLen exposes the cache occupancy to tests.

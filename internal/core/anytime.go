@@ -1,0 +1,132 @@
+package core
+
+import (
+	"context"
+	"errors"
+
+	"github.com/xai-db/relativekeys/internal/bitset"
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+// ErrDeadline is returned by context-aware solvers that were cancelled before
+// producing any valid key (the exact solver, whose search holds no valid
+// intermediate candidate). Callers typically fall back to an anytime solver.
+// The context's own error is joined in, so errors.Is works against both this
+// sentinel and context.DeadlineExceeded / context.Canceled.
+var ErrDeadline = errors.New("core: solver cancelled before a valid key was found")
+
+// SRKAnytime is SRK with cooperative cancellation: it checks ctx once per
+// greedy round (each round is a full feature scan, the natural checkpoint
+// granularity) and, when the deadline expires mid-solve, switches to a cheap
+// single-pass completion that extends the current partial key with every
+// still-discriminating feature in index order. The completion intersects the
+// same posting lists the greedy step would, so the returned key is always a
+// *valid* α-conformant key — just not a succinct one — and the degraded flag
+// is true. The one-pass fallback costs one greedy round, so the total overrun
+// past the deadline is bounded by two rounds of work.
+//
+// OSRK's grow-until-budget loop makes the online algorithm naturally anytime
+// (§4); this is the batch analogue: the survivor set D shrinks monotonically,
+// so a feature that removes no current violator can never remove a later one,
+// and skipping it in the completion pass loses nothing. If even the full
+// feature set leaves more than the budget, no key exists and ErrNoKey is
+// returned exactly as in the undeadlined run.
+func SRKAnytime(ctx context.Context, c *Context, x feature.Instance, y feature.Label, alpha float64) (Key, bool, error) {
+	if err := ValidateAlpha(alpha); err != nil {
+		return nil, false, err
+	}
+	if err := c.Schema.Validate(x); err != nil {
+		return nil, false, err
+	}
+	n := c.Schema.NumFeatures()
+	budget := Budget(alpha, c.Len())
+
+	// D = instances matching x on E with a different prediction; E starts
+	// empty, so D starts as every disagreeing instance. The survivor set is
+	// pooled: /explain-style callers run SRK once per request and the
+	// allocation would otherwise dominate at streaming rates.
+	d := getDisagreeing(c, y)
+	defer putScratch(d)
+	E := Key{}
+	if d.Count() <= budget {
+		return E, false, nil // the empty key already satisfies α
+	}
+
+	inE := make([]bool, n)
+	for len(E) < n {
+		if ctx.Err() != nil {
+			key, err := completeAnytime(c, x, d, E, inE, budget)
+			return key, true, err
+		}
+		// Pick the feature leaving the fewest violators; Algorithm 1 leaves
+		// ties unspecified, and we break them toward the feature whose value
+		// is most frequent in the context — equally conformant but far more
+		// general explanations (higher recall, §7.1 measure (c)).
+		bestAttr, bestCard, bestFreq := -1, -1, -1
+		for a := 0; a < n; a++ {
+			if inE[a] {
+				continue
+			}
+			post := c.Posting(a, x[a])
+			card := d.AndCard(post)
+			if bestCard < 0 || card < bestCard {
+				bestAttr, bestCard, bestFreq = a, card, post.Count()
+			} else if card == bestCard {
+				if freq := post.Count(); freq > bestFreq {
+					bestAttr, bestFreq = a, freq
+				}
+			}
+		}
+		if bestAttr < 0 {
+			break
+		}
+		// No candidate reduces the violations and we are still above budget:
+		// the greedy step would add useless features forever, so only
+		// continue while progress is possible.
+		if bestCard == d.Count() && bestCard > budget {
+			return nil, false, ErrNoKey
+		}
+		inE[bestAttr] = true
+		E = append(E, bestAttr)
+		d.And(c.Posting(bestAttr, x[bestAttr]))
+		if d.Count() <= budget {
+			sortKey(E)
+			return E, false, nil
+		}
+	}
+	if d.Count() <= budget {
+		sortKey(E)
+		return E, false, nil
+	}
+	return nil, false, ErrNoKey
+}
+
+// completeAnytime finishes a deadline-interrupted SRK run: one pass over the
+// features in index order, adding each one that still removes violators. The
+// survivor set shrinks monotonically, so features skipped as non-reducing can
+// never become reducing later, and the final survivor set equals the
+// intersection over *all* features of x — making the ErrNoKey verdict exact.
+func completeAnytime(c *Context, x feature.Instance, d *bitset.Set, E Key, inE []bool, budget int) (Key, error) {
+	n := c.Schema.NumFeatures()
+	for a := 0; a < n && d.Count() > budget; a++ {
+		if inE[a] {
+			continue
+		}
+		post := c.Posting(a, x[a])
+		if d.AndCard(post) == d.Count() {
+			continue // removes nothing now, hence nothing ever
+		}
+		inE[a] = true
+		E = append(E, a)
+		d.And(post)
+	}
+	if d.Count() <= budget {
+		sortKey(E)
+		return E, nil
+	}
+	return nil, ErrNoKey
+}
+
+// exactCancelMask sets how many search nodes the exact solver expands between
+// cancellation checks; a power of two so the test is a single AND.
+const exactCancelMask = 255

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"github.com/xai-db/relativekeys/internal/feature"
@@ -12,6 +14,16 @@ import (
 // validate SRK's ln(α|I|) bound on small inputs and to solve tiny instances
 // exactly. maxFeatures caps n to keep runaway inputs out (0 means 20).
 func ExactMinKey(c *Context, x feature.Instance, y feature.Label, alpha float64, maxFeatures int) (Key, error) {
+	return ExactMinKeyCtx(context.Background(), c, x, y, alpha, maxFeatures)
+}
+
+// ExactMinKeyCtx is ExactMinKey with cooperative cancellation: the search
+// checks ctx every 256 expanded nodes (exactCancelMask). Unlike the greedy
+// solvers, the subset search holds no valid intermediate candidate, so
+// cancellation aborts with an error satisfying errors.Is(err, ErrDeadline)
+// as well as errors.Is against the context's own cause; callers degrade by
+// falling back to SRKAnytime, whose candidate is valid by construction.
+func ExactMinKeyCtx(ctx context.Context, c *Context, x feature.Instance, y feature.Label, alpha float64, maxFeatures int) (Key, error) {
 	if err := ValidateAlpha(alpha); err != nil {
 		return nil, err
 	}
@@ -44,8 +56,16 @@ func ExactMinKey(c *Context, x feature.Instance, y feature.Label, alpha float64,
 
 	choice := make([]int, 0, n)
 	var found Key
+	nodes, cancelled := 0, false
 	var dfs func(start, size int, alive []int) bool
 	dfs = func(start, size int, alive []int) bool {
+		nodes++
+		if nodes&exactCancelMask == 0 && ctx.Err() != nil {
+			cancelled = true
+		}
+		if cancelled {
+			return false
+		}
 		if len(alive) <= budget {
 			found = NewKey(choice...)
 			return true
@@ -78,6 +98,9 @@ func ExactMinKey(c *Context, x feature.Instance, y feature.Label, alpha float64,
 		choice = choice[:0]
 		if dfs(0, size, all) {
 			return found, nil
+		}
+		if cancelled {
+			return nil, errors.Join(ErrDeadline, ctx.Err())
 		}
 	}
 	return nil, ErrNoKey

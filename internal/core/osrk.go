@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -94,11 +95,24 @@ func (o *OSRK) Conflicts() int { return o.conflicts }
 // Observe processes the arrival of x_t with prediction y_t and returns the
 // updated key.
 func (o *OSRK) Observe(li feature.Labeled) (Key, error) {
+	key, _, err := o.ObserveCtx(context.Background(), li)
+	return key, err
+}
+
+// ObserveCtx is Observe with cooperative cancellation: the grow loop of
+// Algorithm 2 checks ctx once per augmentation round. OSRK is naturally
+// anytime — E_t only ever grows, and the violator list is maintained
+// regardless of where growth stops — so expiring mid-grow returns the
+// current coherent candidate with degraded=true instead of an error. The
+// monitor self-heals: the arrival is already in the context and its
+// violators are tracked, so the next ObserveCtx resumes growing toward the
+// budget exactly where this one stopped.
+func (o *OSRK) ObserveCtx(ctx context.Context, li feature.Labeled) (Key, bool, error) {
 	if err := o.c.Add(li); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if li.Y == o.y0 {
-		return o.Key(), nil // line 2: nothing to do
+		return o.Key(), false, nil // line 2: nothing to do
 	}
 	o.p++
 	// Track the new arrival as a violator if it matches x₀ on E.
@@ -117,8 +131,13 @@ func (o *OSRK) Observe(li feature.Labeled) (Key, error) {
 	}
 
 	budget := Budget(o.alpha, o.c.Len())
+	degraded := false
 	// Lines 8-15: grow E until the violators fit the budget.
 	for len(o.violators) > budget {
+		if ctx.Err() != nil {
+			degraded = true
+			break
+		}
 		st := o.differingOutsideE(li.X)
 		if len(st) == 0 {
 			// x_t (or an earlier twin) is an inherent conflict; no feature
@@ -147,7 +166,7 @@ func (o *OSRK) Observe(li feature.Labeled) (Key, error) {
 			}
 		}
 	}
-	return o.Key(), nil
+	return o.Key(), degraded, nil
 }
 
 // differingOutsideE returns S_t = {i ∉ E | x_t[A_i] ≠ x₀[A_i]}.

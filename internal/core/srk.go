@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"github.com/xai-db/relativekeys/internal/feature"
 )
 
@@ -12,70 +14,14 @@ import (
 // stopping as soon as the survivors fit in the (1−α)·|I| tolerance budget.
 // With posting-list bitsets each candidate evaluation is one AndCard pass, so
 // the whole run is O(n²·|I|/64) words in the worst case.
+//
+// SRK is the never-cancelled specialization of SRKAnytime: the shared greedy
+// loop lives there, and a background context keeps the checkpoint branch
+// dead, so the two are byte-identical on every input (asserted by the
+// differential test in anytime_test.go).
 func SRK(c *Context, x feature.Instance, y feature.Label, alpha float64) (Key, error) {
-	if err := ValidateAlpha(alpha); err != nil {
-		return nil, err
-	}
-	if err := c.Schema.Validate(x); err != nil {
-		return nil, err
-	}
-	n := c.Schema.NumFeatures()
-	budget := Budget(alpha, c.Len())
-
-	// D = instances matching x on E with a different prediction; E starts
-	// empty, so D starts as every disagreeing instance. The survivor set is
-	// pooled: /explain-style callers run SRK once per request and the
-	// allocation would otherwise dominate at streaming rates.
-	d := getDisagreeing(c, y)
-	defer putScratch(d)
-	E := Key{}
-	if d.Count() <= budget {
-		return E, nil // the empty key already satisfies α
-	}
-
-	inE := make([]bool, n)
-	for len(E) < n {
-		// Pick the feature leaving the fewest violators; Algorithm 1 leaves
-		// ties unspecified, and we break them toward the feature whose value
-		// is most frequent in the context — equally conformant but far more
-		// general explanations (higher recall, §7.1 measure (c)).
-		bestAttr, bestCard, bestFreq := -1, -1, -1
-		for a := 0; a < n; a++ {
-			if inE[a] {
-				continue
-			}
-			post := c.Posting(a, x[a])
-			card := d.AndCard(post)
-			if bestCard < 0 || card < bestCard {
-				bestAttr, bestCard, bestFreq = a, card, post.Count()
-			} else if card == bestCard {
-				if freq := post.Count(); freq > bestFreq {
-					bestAttr, bestFreq = a, freq
-				}
-			}
-		}
-		if bestAttr < 0 {
-			break
-		}
-		// No candidate reduces the violations and we are still above budget:
-		// the greedy step would add useless features forever, so only
-		// continue while progress is possible.
-		if bestCard == d.Count() && bestCard > budget {
-			return nil, ErrNoKey
-		}
-		inE[bestAttr] = true
-		E = append(E, bestAttr)
-		d.And(c.Posting(bestAttr, x[bestAttr]))
-		if d.Count() <= budget {
-			sortKey(E)
-			return E, nil
-		}
-	}
-	if d.Count() <= budget {
-		sortKey(E)
-		return E, nil
-	}
-	return nil, ErrNoKey
+	key, _, err := SRKAnytime(context.Background(), c, x, y, alpha)
+	return key, err
 }
 
 // SRKOrdered is SRK returning features in the order the greedy step picked

@@ -1,0 +1,52 @@
+package persist
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file so that a crash at any point leaves either
+// the previous version or the complete new one, never a torn mix: the
+// payload goes to a temp file in the same directory (same filesystem, so the
+// rename is atomic), is fsynced, and is renamed over the target; the
+// directory is then fsynced so the rename itself survives a power cut.
+func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()           //rkvet:ignore dropperr best-effort cleanup; the primary error is already propagating
+			os.Remove(tmp.Name()) //rkvet:ignore dropperr best-effort cleanup; the primary error is already propagating
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory, making a just-renamed entry durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close() //rkvet:ignore dropperr the sync failure is the error worth reporting
+		return err
+	}
+	return d.Close()
+}

@@ -1,0 +1,160 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+// WriteSyncer is the sink a WAL appends to. *os.File satisfies it; the
+// fault-injection harness wraps one to simulate torn writes and sync
+// failures.
+type WriteSyncer interface {
+	io.Writer
+	Sync() error
+}
+
+// walRecord is one observation: newline-delimited JSON with a CRC32 over the
+// record's canonical encoding (CRC field zeroed), so replay can tell a torn
+// tail from a complete record without trusting line boundaries alone.
+type walRecord struct {
+	Seq uint64  `json:"seq"`
+	X   []int32 `json:"x"`
+	Y   int32   `json:"y"`
+	CRC uint32  `json:"crc"`
+}
+
+func recordChecksum(rec *walRecord) (uint32, error) {
+	c := *rec
+	c.CRC = 0
+	b, err := json.Marshal(&c)
+	if err != nil {
+		return 0, err
+	}
+	return crc32.ChecksumIEEE(b), nil
+}
+
+// WAL is an append-only observation log. Appends are buffered only by the
+// kernel: each Append issues one write; durability is the caller's Sync
+// policy (the service syncs every N appends, N=1 by default). WAL is safe
+// for concurrent use.
+type WAL struct {
+	mu   sync.Mutex
+	w    WriteSyncer // guarded by mu
+	file *os.File    // guarded by mu; non-nil when opened by path, closed by Close
+}
+
+// OpenWAL opens (creating if needed) an append-only log at path.
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &WAL{w: f, file: f}, nil
+}
+
+// NewWAL wraps an arbitrary sink — the seam the fault-injection harness uses
+// to interpose torn writes between the service and the filesystem.
+func NewWAL(w WriteSyncer) *WAL { return &WAL{w: w} }
+
+// Append logs one observation under sequence number seq. The record is
+// written with a single Write call so a crash tears at most this record, not
+// earlier ones. Append does not sync; pair it with Sync per the caller's
+// durability policy.
+func (w *WAL) Append(seq uint64, li feature.Labeled) error {
+	rec := walRecord{Seq: seq, X: append([]int32(nil), li.X...), Y: li.Y}
+	crc, err := recordChecksum(&rec)
+	if err != nil {
+		return err
+	}
+	rec.CRC = crc
+	b, err := json.Marshal(&rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.w.Write(b); err != nil {
+		return fmt.Errorf("persist: wal append: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes appended records to stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.w.Sync()
+}
+
+// Close syncs and, when the WAL owns its file, closes it.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.w.Sync()
+	if w.file != nil {
+		if cerr := w.file.Close(); err == nil {
+			err = cerr
+		}
+		w.file = nil
+	}
+	return err
+}
+
+// ReplayWAL reads records in append order, calling fn for each intact one.
+// Replay stops at the first record that is torn (partial final line) or
+// fails its checksum: that is the kill -9 boundary, and everything after it
+// is untrusted. The return reports how many records were applied and whether
+// a damaged tail was dropped; fn errors abort the replay as-is.
+func ReplayWAL(r io.Reader, fn func(seq uint64, li feature.Labeled) error) (int, bool, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	applied := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return applied, true, nil // torn or corrupt: stop at the crash boundary
+		}
+		want := rec.CRC
+		got, err := recordChecksum(&rec)
+		if err != nil {
+			return applied, false, err
+		}
+		if got != want {
+			return applied, true, nil
+		}
+		if err := fn(rec.Seq, feature.Labeled{X: feature.Instance(rec.X), Y: rec.Y}); err != nil {
+			return applied, false, fmt.Errorf("persist: wal replay at seq %d: %w", rec.Seq, err)
+		}
+		applied++
+	}
+	if err := sc.Err(); err != nil {
+		return applied, false, err
+	}
+	return applied, false, nil
+}
+
+// ReplayWALFile replays the log at path; a missing file is zero records, not
+// an error (first boot).
+func ReplayWALFile(path string, fn func(seq uint64, li feature.Labeled) error) (int, bool, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close() //rkvet:ignore dropperr read-side close; nothing to recover
+	return ReplayWAL(f, fn)
+}

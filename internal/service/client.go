@@ -5,19 +5,38 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
+	"time"
 )
 
-// Client is a typed HTTP client for a CCE service.
+// Client is a typed HTTP client for a CCE service. It retries transient
+// failures — 429 (shed), 503 (draining, deadline floor, log hiccup), and
+// transport errors such as a reset connection — with capped, jittered
+// exponential backoff, honouring the server's Retry-After hint. Permanent
+// failures (400, 409, 500) surface immediately.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+
+	// MaxRetries is how many times a transient failure is retried after the
+	// first attempt. BaseDelay and MaxDelay bound the exponential backoff
+	// (defaults 50ms and 2s).
+	MaxRetries int
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+
+	// sleep and jitter are test seams; nil means time.Sleep and uniform
+	// jitter over [d/2, d].
+	sleep  func(time.Duration)
+	jitter func(time.Duration) time.Duration
 }
 
 // NewClient targets a service at baseURL, using http.DefaultClient unless
-// overridden.
+// overridden, with 3 retries of transient failures.
 func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient, MaxRetries: 3}
 }
 
 // Observe records one served inference in the remote context.
@@ -37,18 +56,25 @@ func (c *Client) Explain(values map[string]string, prediction string, alpha floa
 	return &out, nil
 }
 
-// Stats fetches the service summary.
-func (c *Client) Stats() (*StatsResponse, error) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/stats")
-	if err != nil {
+// ExplainDeadline is Explain with a per-request solve deadline: the server
+// answers within roughly the deadline, degrading to a larger-but-valid key
+// when the greedy solve cannot finish in time.
+func (c *Client) ExplainDeadline(values map[string]string, prediction string, alpha float64, deadline time.Duration) (*ExplainResponse, error) {
+	var out ExplainResponse
+	req := ExplainRequest{Values: values, Prediction: prediction, Alpha: alpha, DeadlineMS: deadline.Milliseconds()}
+	if err := c.post("/explain", req, &out); err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close() //rkvet:ignore dropperr read-side body close; nothing to recover
-	if resp.StatusCode != http.StatusOK {
-		return nil, httpError(resp)
-	}
+	return &out, nil
+}
+
+// Stats fetches the service summary.
+func (c *Client) Stats() (*StatsResponse, error) {
 	var out StatsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	err := c.do(func() (*http.Response, error) {
+		return c.HTTP.Get(c.BaseURL + "/stats")
+	}, &out)
+	if err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -59,15 +85,91 @@ func (c *Client) post(path string, req, out any) error {
 	if err != nil {
 		return err
 	}
-	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
+	return c.do(func() (*http.Response, error) {
+		return c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	}, out)
+}
+
+// do runs one request with the retry policy. send must be re-issuable: each
+// attempt builds a fresh request body.
+func (c *Client) do(send func() (*http.Response, error), out any) error {
+	for attempt := 0; ; attempt++ {
+		resp, err := send()
+		if err != nil {
+			// Transport-level failure: connection refused, reset mid-response,
+			// and friends. Retryable — the server rolls back half-applied
+			// observes, so a retry cannot duplicate state it rejected.
+			if attempt >= c.MaxRetries {
+				return err
+			}
+			c.backoff(attempt, 0)
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			err := json.NewDecoder(resp.Body).Decode(out)
+			resp.Body.Close() //rkvet:ignore dropperr read-side body close; nothing to recover
+			return err
+		}
+		retryAfter := parseRetryAfter(resp.Header)
+		herr := httpError(resp)
+		resp.Body.Close() //rkvet:ignore dropperr read-side body close; nothing to recover
+		if !retryableStatus(resp.StatusCode) || attempt >= c.MaxRetries {
+			return herr
+		}
+		c.backoff(attempt, retryAfter)
 	}
-	defer resp.Body.Close() //rkvet:ignore dropperr read-side body close; nothing to recover
-	if resp.StatusCode != http.StatusOK {
-		return httpError(resp)
+}
+
+// retryableStatus: only statuses the server uses for transient conditions.
+// 400/409/500 are answers, not hiccups.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// backoff sleeps for min(MaxDelay, BaseDelay·2^attempt) with jitter, never
+// less than the server's Retry-After hint.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) {
+	base, max := c.BaseDelay, c.MaxDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	if attempt > 30 {
+		attempt = 30 // the shift below must not overflow
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > max {
+		d = max
+	}
+	if c.jitter != nil {
+		d = c.jitter(d)
+	} else if d > 1 {
+		d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if c.sleep != nil {
+		c.sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// parseRetryAfter reads the integer-seconds form of Retry-After; 0 when
+// absent or unparseable.
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 func httpError(resp *http.Response) error {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http/httptest"
@@ -106,12 +107,12 @@ type failingMonitor struct {
 	arrivals int
 }
 
-func (m *failingMonitor) Observe(feature.Labeled) error {
+func (m *failingMonitor) ObserveCtx(context.Context, feature.Labeled) (int, error) {
 	if m.arrivals >= m.allow {
-		return errors.New("monitor: induced failure")
+		return 0, errors.New("monitor: induced failure")
 	}
 	m.arrivals++
-	return nil
+	return 0, nil
 }
 func (m *failingMonitor) AvgSuccinctness() float64 { return 0 }
 func (m *failingMonitor) Arrivals() int            { return m.arrivals }

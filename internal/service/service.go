@@ -4,47 +4,110 @@
 // serving via /observe, and answers /explain with relative keys — never
 // contacting the model. Instances travel as attribute-value string maps so
 // clients need no knowledge of internal value codes.
+//
+// The server is deadline-aware and crash-safe (DESIGN.md §9): explains carry
+// per-request deadlines and degrade to a valid-but-larger key instead of
+// erroring when time runs out; observations stream to an append-only log and
+// periodic atomic snapshots so a kill -9 loses at most the unsynced tail.
 package service
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/xai-db/relativekeys/internal/cce"
 	"github.com/xai-db/relativekeys/internal/core"
 	"github.com/xai-db/relativekeys/internal/feature"
+	"github.com/xai-db/relativekeys/internal/persist"
 )
 
-// driftObserver is the slice of cce.DriftMonitor the server depends on; a
-// seam so tests can inject failing monitors when exercising the observe
-// rollback path.
-type driftObserver interface {
-	Observe(feature.Labeled) error
+// DriftObserver is the slice of cce.DriftMonitor the server depends on; a
+// seam so tests and the fault-injection harness can interpose failing or
+// slow monitors when exercising the observe rollback path.
+type DriftObserver interface {
+	ObserveCtx(ctx context.Context, li feature.Labeled) (int, error)
 	AvgSuccinctness() float64
 	Arrivals() int
 }
 
+// SolveFunc is the anytime solver seam, matching core.SRKAnytime: it returns
+// the key, whether the deadline degraded it, and an error.
+type SolveFunc func(ctx context.Context, c *core.Context, x feature.Instance, y feature.Label, alpha float64) (core.Key, bool, error)
+
+// Config assembles a Server. Zero values mean "off" for every robustness
+// knob, so Config{Schema: s, Alpha: a} behaves like the pre-robustness
+// server.
+type Config struct {
+	Schema    *feature.Schema
+	Alpha     float64
+	PanelSize int // drift-monitor panel; 0 = no monitor
+	Retain    int // max live context rows; 0 = grow forever
+
+	Monitor DriftObserver // overrides PanelSize construction when non-nil
+	Solve   SolveFunc     // nil = core.SRKAnytime
+
+	DefaultDeadline time.Duration // per-explain solve budget; 0 = none
+	MinDeadline     time.Duration // floor: shorter requests shed with 503
+	MaxInFlight     int           // concurrent explains; 0 = unbounded
+
+	StateDir      string       // "" = no persistence
+	WAL           *persist.WAL // overrides the StateDir log (fault-injection seam)
+	SnapshotEvery int          // observations per snapshot; 0 = 256
+	WALSyncEvery  int          // appends per fsync; 0 = 1 (sync every append)
+}
+
+const (
+	defaultSnapshotEvery = 256
+	snapshotFileName     = "context.snap"
+	walFileName          = "observations.wal"
+)
+
 // Server is an HTTP CCE endpoint over a fixed schema. It is safe for
 // concurrent use.
 type Server struct {
-	schema *feature.Schema
-	alpha  float64
-	retain int // max live context rows; 0 = grow forever
+	schema          *feature.Schema
+	alpha           float64
+	retain          int // max live context rows; 0 = grow forever
+	solve           SolveFunc
+	defaultDeadline time.Duration
+	minDeadline     time.Duration
+	snapshotEvery   int
+	walSyncEvery    int
+	snapPath        string        // "" = snapshots off
+	sem             chan struct{} // nil = unbounded explains
 
 	mu      sync.RWMutex
 	ctx     *core.Context // guarded by mu
-	monitor driftObserver // guarded by mu
+	monitor DriftObserver // guarded by mu
 
 	// order tracks live context slots oldest-first when retention is on.
 	order     []int // guarded by mu
 	orderHead int   // guarded by mu
+
+	wal           *persist.WAL // guarded by mu; nil = no observation log
+	seq           uint64       // guarded by mu; last durable observation number
+	sinceSnapshot int          // guarded by mu
+	sinceSync     int          // guarded by mu
+	closed        bool         // guarded by mu; true once Close began
+
+	degradedTotal   atomic.Int64
+	shedTotal       atomic.Int64
+	panicsRecovered atomic.Int64
+	syncFailures    atomic.Int64
+	snapFailures    atomic.Int64
 }
 
 // New builds a server with an empty, unbounded context.
 func New(schema *feature.Schema, alpha float64, panelSize int) (*Server, error) {
-	return NewWithRetention(schema, alpha, panelSize, 0)
+	return NewServer(Config{Schema: schema, Alpha: alpha, PanelSize: panelSize})
 }
 
 // NewWithRetention builds a server whose context keeps only the most recent
@@ -53,83 +116,312 @@ func New(schema *feature.Schema, alpha float64, panelSize int) (*Server, error) 
 // explains against the freshest inference behaviour instead of the entire
 // history. retain must be 0 or positive.
 func NewWithRetention(schema *feature.Schema, alpha float64, panelSize, retain int) (*Server, error) {
-	if err := core.ValidateAlpha(alpha); err != nil {
+	return NewServer(Config{Schema: schema, Alpha: alpha, PanelSize: panelSize, Retain: retain})
+}
+
+// NewServer builds a server from cfg, recovering persisted state when
+// cfg.StateDir holds a snapshot or observation log from a previous run. A
+// corrupt snapshot is refused (the operator must move it aside), while a torn
+// log tail — the kill -9 signature — is dropped silently per the recovery
+// protocol.
+func NewServer(cfg Config) (*Server, error) {
+	if err := core.ValidateAlpha(cfg.Alpha); err != nil {
 		return nil, err
 	}
-	if retain < 0 {
-		return nil, fmt.Errorf("service: retention %d must be ≥ 0", retain)
+	if cfg.Retain < 0 {
+		return nil, fmt.Errorf("service: retention %d must be ≥ 0", cfg.Retain)
 	}
-	ctx, err := core.NewContextSized(schema, nil, retain)
+	ctx, err := core.NewContextSized(cfg.Schema, nil, cfg.Retain)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{schema: schema, alpha: alpha, retain: retain, ctx: ctx}
-	if panelSize > 0 {
-		mon, err := cce.NewDriftMonitor(schema, alpha, panelSize, 1)
+	s := &Server{
+		schema:          cfg.Schema,
+		alpha:           cfg.Alpha,
+		retain:          cfg.Retain,
+		solve:           cfg.Solve,
+		defaultDeadline: cfg.DefaultDeadline,
+		minDeadline:     cfg.MinDeadline,
+		snapshotEvery:   cfg.SnapshotEvery,
+		walSyncEvery:    cfg.WALSyncEvery,
+		ctx:             ctx,
+	}
+	if s.solve == nil {
+		s.solve = core.SRKAnytime
+	}
+	if s.snapshotEvery <= 0 {
+		s.snapshotEvery = defaultSnapshotEvery
+	}
+	if s.walSyncEvery <= 0 {
+		s.walSyncEvery = 1
+	}
+	if cfg.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInFlight)
+	}
+	s.monitor = cfg.Monitor
+	if s.monitor == nil && cfg.PanelSize > 0 {
+		mon, err := cce.NewDriftMonitor(cfg.Schema, cfg.Alpha, cfg.PanelSize, 1)
 		if err != nil {
 			return nil, err
 		}
 		s.monitor = mon
 	}
+	if cfg.StateDir != "" {
+		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+			return nil, err
+		}
+		s.snapPath = filepath.Join(cfg.StateDir, snapshotFileName)
+		walPath := filepath.Join(cfg.StateDir, walFileName)
+		if err := s.recoverLocked(walPath); err != nil {
+			return nil, err
+		}
+		if cfg.WAL == nil {
+			w, err := persist.OpenWAL(walPath)
+			if err != nil {
+				return nil, err
+			}
+			s.wal = w
+		}
+	}
+	if cfg.WAL != nil {
+		s.wal = cfg.WAL
+	}
 	return s, nil
 }
 
-// observeLocked admits one instance into the context and the drift monitor
-// as a unit: if the monitor rejects the instance after the context accepted
-// it, the context add is rolled back so a client retry cannot duplicate the
-// row. Retention eviction runs only after the pair committed. Callers hold
-// s.mu.
-func (s *Server) observeLocked(li feature.Labeled) error {
+// recoverLocked rebuilds the context from the snapshot plus the observation
+// log: snapshot rows are re-admitted in arrival order, then log records with
+// a sequence number past the snapshot watermark are replayed. The drift
+// monitor is rebuilt from the recovered rows rather than persisted — its
+// panel is a statistic of the stream, not ground truth. Called from
+// NewServer before the server is shared, hence no locking.
+func (s *Server) recoverLocked(walPath string) error {
+	schema, items, seq, err := persist.LoadSnapshot(s.snapPath)
+	switch {
+	case err == nil:
+		if schema.NumFeatures() != s.schema.NumFeatures() || len(schema.Labels) != len(s.schema.Labels) {
+			return fmt.Errorf("service: snapshot schema (%d attrs, %d labels) does not match the configured schema", schema.NumFeatures(), len(schema.Labels))
+		}
+		s.seq = seq
+		for _, li := range items {
+			slot, err := s.admitLocked(context.Background(), li)
+			if err != nil {
+				return fmt.Errorf("service: snapshot replay: %w", err)
+			}
+			s.commitLocked(slot)
+		}
+	case os.IsNotExist(err):
+		// First boot: nothing to recover.
+	default:
+		return err
+	}
+	_, _, err = persist.ReplayWALFile(walPath, func(seq uint64, li feature.Labeled) error {
+		if seq <= s.seq {
+			return nil // already covered by the snapshot
+		}
+		slot, err := s.admitLocked(context.Background(), li)
+		if err != nil {
+			return err
+		}
+		s.commitLocked(slot)
+		s.seq = seq
+		return nil
+	})
+	return err
+}
+
+// admitLocked adds one instance to the context and the drift monitor as a
+// unit: if the monitor rejects the instance after the context accepted it,
+// the context add is rolled back so a client retry cannot duplicate the row.
+// Callers hold s.mu; on success they must follow with commitLocked (or roll
+// back themselves via ctx.Remove).
+func (s *Server) admitLocked(ctx context.Context, li feature.Labeled) (int, error) {
 	slot, err := s.ctx.AddSlot(li)
+	if err != nil {
+		return 0, err
+	}
+	if s.monitor != nil {
+		if _, err := s.monitor.ObserveCtx(ctx, li); err != nil {
+			if rerr := s.ctx.Remove(slot); rerr != nil {
+				return 0, monitorError{fmt.Errorf("%w (rollback failed: %v)", err, rerr)}
+			}
+			return 0, monitorError{err}
+		}
+	}
+	return slot, nil
+}
+
+// commitLocked finishes an admitted observation: it enters the slot into the
+// retention FIFO and evicts the oldest rows past the bound. Callers hold
+// s.mu.
+func (s *Server) commitLocked(slot int) {
+	if s.retain <= 0 {
+		return
+	}
+	s.order = append(s.order, slot)
+	for s.ctx.Len() > s.retain {
+		if err := s.ctx.Remove(s.order[s.orderHead]); err != nil {
+			// Slots in the FIFO are live by construction; a failure here is a
+			// programming error, not an input error.
+			panic(fmt.Sprintf("service: retention eviction: %v", err))
+		}
+		s.orderHead++
+	}
+	// Compact the slot FIFO once the dead prefix dominates.
+	if s.orderHead > len(s.order)/2 && s.orderHead > 64 {
+		s.order = append(s.order[:0], s.order[s.orderHead:]...)
+		s.orderHead = 0
+	}
+}
+
+// observeLocked runs the full observation pipeline: admit (context +
+// monitor, with rollback), log to the WAL, then commit retention and maybe
+// snapshot. The WAL append happens before the observation becomes evictable
+// so a crash cannot lose a row the client saw acknowledged (modulo the sync
+// policy). Callers hold s.mu.
+func (s *Server) observeLocked(ctx context.Context, li feature.Labeled) error {
+	slot, err := s.admitLocked(ctx, li)
 	if err != nil {
 		return err
 	}
-	if s.monitor != nil {
-		if err := s.monitor.Observe(li); err != nil {
+	if s.wal != nil {
+		if err := s.wal.Append(s.seq+1, li); err != nil {
+			// The record did not reach the log (a torn tail is dropped on
+			// replay), so roll the row back: the client gets a retryable 503
+			// and the state stays exactly as before the request. The monitor
+			// has already counted the arrival; panel statistics may run one
+			// ahead, which is acceptable for a drift estimate.
 			if rerr := s.ctx.Remove(slot); rerr != nil {
-				return monitorError{fmt.Errorf("%w (rollback failed: %v)", err, rerr)}
+				return persistError{fmt.Errorf("%w (rollback failed: %v)", err, rerr)}
 			}
-			return monitorError{err}
+			return persistError{err}
+		}
+		s.sinceSync++
+		if s.sinceSync >= s.walSyncEvery {
+			s.sinceSync = 0
+			if err := s.wal.Sync(); err != nil {
+				// The row is in memory and in the kernel's page cache; only
+				// durability against power loss is uncertain. Count it rather
+				// than force the client into a duplicating retry.
+				s.syncFailures.Add(1)
+			}
 		}
 	}
-	if s.retain > 0 {
-		s.order = append(s.order, slot)
-		for s.ctx.Len() > s.retain {
-			if err := s.ctx.Remove(s.order[s.orderHead]); err != nil {
-				return err
-			}
-			s.orderHead++
-		}
-		// Compact the slot FIFO once the dead prefix dominates.
-		if s.orderHead > len(s.order)/2 && s.orderHead > 64 {
-			s.order = append(s.order[:0], s.order[s.orderHead:]...)
-			s.orderHead = 0
+	s.seq++
+	s.commitLocked(slot)
+	s.sinceSnapshot++
+	if s.snapPath != "" && s.sinceSnapshot >= s.snapshotEvery {
+		s.sinceSnapshot = 0
+		if err := s.snapshotLocked(); err != nil {
+			// The WAL still covers everything since the last good snapshot;
+			// recovery just replays more.
+			s.snapFailures.Add(1)
 		}
 	}
 	return nil
 }
 
-// Warm bulk-loads labeled instances into the context (and the drift monitor,
-// when active); returns the number loaded.
+// itemsLocked returns the live rows in arrival order — the order retention
+// needs to keep evicting oldest-first after a recovery. Callers hold s.mu.
+func (s *Server) itemsLocked() []feature.Labeled {
+	if s.retain <= 0 {
+		return s.ctx.LiveItems()
+	}
+	items := make([]feature.Labeled, 0, s.ctx.Len())
+	for _, slot := range s.order[s.orderHead:] {
+		if s.ctx.Alive(slot) {
+			items = append(items, s.ctx.Item(slot))
+		}
+	}
+	return items
+}
+
+// snapshotLocked atomically writes the current rows and sequence watermark.
+// Callers hold s.mu.
+func (s *Server) snapshotLocked() error {
+	if s.snapPath == "" {
+		return nil
+	}
+	return persist.SaveSnapshot(s.snapPath, s.schema, s.itemsLocked(), s.seq)
+}
+
+// Snapshot forces a snapshot of the current state to the configured state
+// directory; a no-op without persistence.
+func (s *Server) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+// Close snapshots the final state, closes the observation log, and marks the
+// server draining: later observes and explains answer 503. Safe to call
+// more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.snapshotLocked()
+	if s.wal != nil {
+		if cerr := s.wal.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Seq reports the sequence number of the last admitted observation.
+func (s *Server) Seq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq
+}
+
+// Warm bulk-loads labeled instances into the context (and the drift monitor
+// and observation log, when active); returns the number loaded.
 func (s *Server) Warm(items []feature.Labeled) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i, li := range items {
-		if err := s.observeLocked(li); err != nil {
+		if err := s.observeLocked(context.Background(), li); err != nil {
 			return i, err
 		}
 	}
 	return len(items), nil
 }
 
-// Handler returns the HTTP mux for the service.
+// Handler returns the HTTP mux for the service, wrapped in panic recovery:
+// a panicking handler answers 500 and the process survives to serve the next
+// request.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/schema", s.handleSchema)
 	mux.HandleFunc("/observe", s.handleObserve)
 	mux.HandleFunc("/explain", s.handleExplain)
 	mux.HandleFunc("/stats", s.handleStats)
-	return mux
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics converts handler panics into 500s so one poisoned request
+// cannot take the service down. http.ErrAbortHandler is the stdlib's own
+// "abort this response" signal and must keep propagating.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			s.panicsRecovered.Add(1)
+			http.Error(w, fmt.Sprintf("internal error: %v", p), http.StatusInternalServerError)
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // ObserveRequest is one served inference: attribute name → value string,
@@ -140,20 +432,25 @@ type ObserveRequest struct {
 }
 
 // ExplainRequest asks for the relative key of an observed instance. Alpha
-// optionally overrides the server default.
+// optionally overrides the server default; DeadlineMS optionally overrides
+// the server's default solve deadline (milliseconds).
 type ExplainRequest struct {
 	Values     map[string]string `json:"values"`
 	Prediction string            `json:"prediction"`
 	Alpha      float64           `json:"alpha,omitempty"`
+	DeadlineMS int64             `json:"deadline_ms,omitempty"`
 }
 
-// ExplainResponse carries the explanation.
+// ExplainResponse carries the explanation. Degraded marks a key completed
+// under an expired deadline: still α-conformant, but possibly larger than
+// the greedy key.
 type ExplainResponse struct {
 	Features  []string `json:"features"`
 	Rule      string   `json:"rule"`
 	Precision float64  `json:"precision"`
 	Coverage  int      `json:"coverage"`
 	Context   int      `json:"context_size"`
+	Degraded  bool     `json:"degraded,omitempty"`
 }
 
 // StatsResponse summarizes the service state.
@@ -164,6 +461,13 @@ type StatsResponse struct {
 	AvgSuccinctness  float64 `json:"monitor_avg_succinctness,omitempty"`
 	MonitorArrivals  int     `json:"monitor_arrivals,omitempty"`
 	MonitoringActive bool    `json:"monitoring_active"`
+	DegradedTotal    int64   `json:"degraded_total,omitempty"`
+	ShedTotal        int64   `json:"shed_total,omitempty"`
+	PanicsRecovered  int64   `json:"panics_recovered,omitempty"`
+	SyncFailures     int64   `json:"wal_sync_failures,omitempty"`
+	SnapshotFailures int64   `json:"snapshot_failures,omitempty"`
+	Seq              uint64  `json:"seq,omitempty"`
+	PersistenceOn    bool    `json:"persistence_active,omitempty"`
 }
 
 // monitorError marks drift-monitor failures (server-side, 500) so the
@@ -172,6 +476,16 @@ type monitorError struct{ err error }
 
 func (e monitorError) Error() string { return e.err.Error() }
 func (e monitorError) Unwrap() error { return e.err }
+
+// persistError marks observation-log failures: the observation was rolled
+// back and the client should retry (503 + Retry-After).
+type persistError struct{ err error }
+
+func (e persistError) Error() string { return e.err.Error() }
+func (e persistError) Unwrap() error { return e.err }
+
+// errDraining answers requests arriving after Close started.
+var errDraining = errors.New("service: shutting down")
 
 func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
@@ -209,12 +523,19 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.observeLocked(li); err != nil {
-		status := http.StatusBadRequest
-		if _, server := err.(monitorError); server {
-			status = http.StatusInternalServerError
+	if s.closed {
+		unavailable(w, errDraining.Error())
+		return
+	}
+	if err := s.observeLocked(r.Context(), li); err != nil {
+		switch err.(type) {
+		case monitorError:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		case persistError:
+			unavailable(w, err.Error())
+		default:
+			http.Error(w, err.Error(), http.StatusBadRequest)
 		}
-		http.Error(w, err.Error(), status)
 		return
 	}
 	writeJSON(w, map[string]int{"context_size": s.ctx.Len()})
@@ -245,9 +566,44 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		}
 		alpha = req.Alpha
 	}
+	deadline := s.defaultDeadline
+	if req.DeadlineMS != 0 {
+		if req.DeadlineMS < 0 {
+			http.Error(w, "deadline_ms must be positive", http.StatusBadRequest)
+			return
+		}
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	// The hard floor: below it the degraded answer would be all features —
+	// useless as an explanation — so shed instead of wasting the work.
+	if s.minDeadline > 0 && deadline > 0 && deadline < s.minDeadline {
+		unavailable(w, fmt.Sprintf("deadline %v below the service floor %v", deadline, s.minDeadline))
+		return
+	}
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.shedTotal.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "too many in-flight explains", http.StatusTooManyRequests)
+			return
+		}
+	}
+	ctx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	key, err := core.SRK(s.ctx, li.X, li.Y, alpha)
+	if s.closed {
+		unavailable(w, errDraining.Error())
+		return
+	}
+	key, degraded, err := s.solve(ctx, s.ctx, li.X, li.Y, alpha)
 	if err == core.ErrNoKey {
 		http.Error(w, "no α-conformant key exists for this instance", http.StatusConflict)
 		return
@@ -256,11 +612,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	if degraded {
+		s.degradedTotal.Add(1)
+	}
 	resp := ExplainResponse{
 		Rule:      key.RenderRule(s.schema, li.X, li.Y),
 		Precision: core.Precision(s.ctx, li.X, li.Y, key),
 		Coverage:  core.Coverage(s.ctx, li.X, li.Y, key),
 		Context:   s.ctx.Len(),
+		Degraded:  degraded,
 	}
 	for _, a := range key {
 		resp.Features = append(resp.Features, s.schema.Attrs[a].Name)
@@ -275,7 +635,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	resp := StatsResponse{ContextSize: s.ctx.Len(), Alpha: s.alpha, Retention: s.retain}
+	resp := StatsResponse{
+		ContextSize:      s.ctx.Len(),
+		Alpha:            s.alpha,
+		Retention:        s.retain,
+		DegradedTotal:    s.degradedTotal.Load(),
+		ShedTotal:        s.shedTotal.Load(),
+		PanicsRecovered:  s.panicsRecovered.Load(),
+		SyncFailures:     s.syncFailures.Load(),
+		SnapshotFailures: s.snapFailures.Load(),
+		Seq:              s.seq,
+		PersistenceOn:    s.wal != nil || s.snapPath != "",
+	}
 	if s.monitor != nil {
 		resp.MonitoringActive = true
 		resp.AvgSuccinctness = s.monitor.AvgSuccinctness()
@@ -306,6 +677,14 @@ func (s *Server) decode(values map[string]string, prediction string) (feature.La
 		return feature.Labeled{}, fmt.Errorf("service: unknown prediction %q", prediction)
 	}
 	return feature.Labeled{X: x, Y: y}, nil
+}
+
+// unavailable answers 503 with a Retry-After hint: the condition is
+// transient (draining, log hiccup, deadline floor) and a later retry can
+// succeed.
+func unavailable(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, msg, http.StatusServiceUnavailable)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
