@@ -5,7 +5,7 @@ GO ?= go
 # One ~10s native-fuzz burst per target; see fuzz-smoke.
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet lint race bench tier1 fuzz-smoke chaos-smoke ci
+.PHONY: all build test vet lint race bench bench-json tier1 fuzz-smoke chaos-smoke obs-smoke ci
 
 all: ci
 
@@ -21,8 +21,8 @@ vet:
 	$(GO) vet ./...
 
 # rkvet: the repo-specific static-analysis suite (internal/analysis) —
-# maporder, poolpair, floateq, dropperr, lockcheck. Exits nonzero on any
-# finding that is not suppressed with a reasoned //rkvet:ignore.
+# maporder, poolpair, floateq, dropperr, lockcheck, obsreg. Exits nonzero on
+# any finding that is not suppressed with a reasoned //rkvet:ignore.
 lint:
 	$(GO) run ./cmd/rkvet
 
@@ -35,6 +35,18 @@ race:
 bench:
 	$(GO) test -run=NONE -bench 'WindowAdvance|WindowExplain|Disagreeing|RemoveAdd|BenchmarkSRK$$' -benchmem \
 		./internal/cce/ ./internal/core/
+
+# Machine-readable perf baseline: every internal/benchsuite hot-path case
+# (SRK solve, OSRK observe, window advance, WAL append, obs instruments) run
+# under testing.Benchmark, written to BENCH_<date>.json.
+bench-json:
+	$(GO) run ./cmd/benchall -json BENCH_$$(date +%Y-%m-%d).json
+
+# End-to-end observability smoke: build cceserver, boot it with tracing and a
+# separate ops listener, drive observe/explain traffic through the retrying
+# client, then scrape /metrics and /healthz and assert the core series moved.
+obs-smoke:
+	$(GO) run ./cmd/obssmoke
 
 # Short native-fuzz burst per target, on top of the committed seed corpora
 # (testdata/fuzz/): bitset vs naive model, bucketing round-trips, incremental

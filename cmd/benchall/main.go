@@ -4,19 +4,29 @@
 // Usage:
 //
 //	benchall [-quick] [-instances N] [-seed S] [-id T4 -id F3a ...]
+//	benchall -json BENCH_2026-08-05.json
 //
 // Without -id, every registered experiment runs in order. -quick shrinks
 // datasets and sample counts for a fast end-to-end pass; omit it to run at
 // the paper's scale (Table 1 sizes, 100 explained instances per dataset).
+//
+// -json switches to the micro-benchmark suite (internal/benchsuite): each
+// hot-path case runs under testing.Benchmark and the results — name, ns/op,
+// allocs/op, bytes/op — are written as a JSON document to the given file, the
+// machine-readable perf baseline `make bench-json` records per date.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"testing"
 	"time"
 
+	"github.com/xai-db/relativekeys/internal/benchsuite"
 	"github.com/xai-db/relativekeys/internal/experiments"
 )
 
@@ -34,10 +44,19 @@ func main() {
 		quick     = flag.Bool("quick", false, "shrink datasets and samples for a fast pass")
 		instances = flag.Int("instances", 0, "explained instances per dataset (default 100; 12 with -quick)")
 		seed      = flag.Int64("seed", 0, "harness seed (default fixed)")
+		jsonOut   = flag.String("json", "", "run the micro-benchmark suite and write JSON results to this file instead of the experiments")
 		ids       idList
 	)
 	flag.Var(&ids, "id", "experiment id to run (repeatable); default: all")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := runBenchJSON(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	env := experiments.NewEnv(experiments.Config{
 		Quick:     *quick,
@@ -63,4 +82,52 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// benchRecord is one suite result in the JSON baseline.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// runBenchJSON runs every benchsuite case under testing.Benchmark and writes
+// the results to path, echoing a human-readable line per case to stderr so
+// interactive runs show progress.
+func runBenchJSON(path string) error {
+	doc := struct {
+		Date    string        `json:"date"`
+		GoOS    string        `json:"goos"`
+		Results []benchRecord `json:"results"`
+	}{Date: time.Now().Format("2006-01-02"), GoOS: runtime.GOOS + "/" + runtime.GOARCH}
+	for _, c := range benchsuite.Cases() {
+		r := testing.Benchmark(c.Fn)
+		rec := benchRecord{
+			Name:        c.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		fmt.Fprintf(os.Stderr, "%-28s %12.1f ns/op %8d B/op %6d allocs/op\n",
+			rec.Name, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
+		doc.Results = append(doc.Results, rec)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&doc); err != nil {
+		f.Close() //rkvet:ignore dropperr encode already failed; surface that error
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d benchmark results to %s\n", len(doc.Results), path)
+	return nil
 }

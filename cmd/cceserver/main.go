@@ -8,8 +8,14 @@
 //	cceserver [-addr :8080] [-dataset loan] [-alpha 1.0] [-panel 10] [-retain 0] [-warm]
 //	          [-deadline 0] [-min-deadline 0] [-max-inflight 0]
 //	          [-state DIR] [-snapshot-every 256] [-wal-sync-every 1]
+//	          [-metrics-addr ""] [-trace-sample 0] [-pprof] [-log-level info]
 //
-// Endpoints: GET /schema, POST /observe, POST /explain, GET /stats.
+// Endpoints: GET /schema, POST /observe, POST /explain, GET /stats,
+// GET /healthz, GET /metrics (Prometheus text format) and, when tracing is
+// on, GET /debug/traces. With -metrics-addr the operational endpoints
+// (/metrics, /healthz, /debug/traces, and /debug/pprof/* under -pprof) are
+// additionally served on a separate listener so the scrape plane can be
+// firewalled away from the serving plane.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight requests finish, the final
 // state is snapshotted, and the observation log is closed.
@@ -19,9 +25,8 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,6 +35,7 @@ import (
 	"github.com/xai-db/relativekeys/internal/dataset"
 	"github.com/xai-db/relativekeys/internal/feature"
 	"github.com/xai-db/relativekeys/internal/model"
+	"github.com/xai-db/relativekeys/internal/obs"
 	"github.com/xai-db/relativekeys/internal/service"
 )
 
@@ -50,15 +56,27 @@ func main() {
 		stateDir      = flag.String("state", "", "directory for crash-safe state (snapshot + observation log); empty disables persistence")
 		snapshotEvery = flag.Int("snapshot-every", 256, "observations between atomic snapshots")
 		walSyncEvery  = flag.Int("wal-sync-every", 1, "observation-log appends per fsync (1 = sync every observation)")
+
+		metricsAddr = flag.String("metrics-addr", "", "separate listener for /metrics, /healthz, /debug/traces and pprof (empty = serve them on -addr only)")
+		traceSample = flag.Int("trace-sample", 0, "sample 1 in N requests into /debug/traces (0 disables tracing)")
+		traceKeep   = flag.Int("trace-keep", 32, "completed traces retained in the ring")
+		pprofOn     = flag.Bool("pprof", false, "expose /debug/pprof/* on the ops listener")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel)).With("component", "cceserver")
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	var ds *dataset.Dataset
 	var err error
 	if *csv != "" {
 		f, ferr := os.Open(*csv)
 		if ferr != nil {
-			log.Fatal(ferr)
+			fatal("open csv", ferr)
 		}
 		ds, err = dataset.ReadCSV(f)
 		if cerr := f.Close(); cerr != nil && err == nil {
@@ -68,9 +86,10 @@ func main() {
 		ds, err = dataset.Load(*dsName, dataset.Options{})
 	}
 	if err != nil {
-		log.Fatal(err)
+		fatal("load dataset", err)
 	}
 
+	tracer := obs.NewTracer(*traceSample, *traceKeep)
 	srv, err := service.NewServer(service.Config{
 		Schema:          ds.Schema,
 		Alpha:           *alpha,
@@ -82,26 +101,48 @@ func main() {
 		StateDir:        *stateDir,
 		SnapshotEvery:   *snapshotEvery,
 		WALSyncEvery:    *walSyncEvery,
+		Tracer:          tracer,
+		Logger:          logger.With("component", "service"),
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("build server", err)
 	}
+	// The live context size as a scrape-time gauge. Registered here, not in
+	// NewServer: the registry is process-global and test suites build many
+	// servers, while a process runs exactly one.
+	obs.NewGaugeFunc("rk_context_rows",
+		"Live rows in the explanation context.",
+		func() float64 { return float64(srv.ContextSize()) })
+
 	if recovered := srv.Seq(); recovered > 0 {
-		fmt.Printf("recovered %d observations from %s\n", recovered, *stateDir)
+		logger.Info("recovered persisted state", "observations", recovered, "state_dir", *stateDir)
 	}
 	if *warm {
 		m, err := model.TrainForest(ds.Schema, ds.Train(), model.ForestConfig{Seed: 1})
 		if err != nil {
-			log.Fatal(err)
+			fatal("train warmup model", err)
 		}
 		n, err := srv.Warm(model.Labels(m, instances(ds)))
 		if err != nil {
-			log.Fatal(err)
+			fatal("warm context", err)
 		}
-		fmt.Printf("context warmed with %d inference instances\n", n)
+		logger.Info("context warmed", "instances", n)
 	}
-	fmt.Printf("CCE service for %s (%d features, α=%.2f) listening on %s\n",
-		ds.Name, ds.Schema.NumFeatures(), *alpha, *addr)
+
+	if *metricsAddr != "" {
+		ops := opsMux(srv, tracer, *pprofOn)
+		go func() {
+			logger.Info("ops listener up", "addr", *metricsAddr, "pprof", *pprofOn)
+			if err := http.ListenAndServe(*metricsAddr, ops); err != nil {
+				fatal("ops listener", err)
+			}
+		}()
+	}
+
+	logger.Info("listening",
+		"addr", *addr, "dataset", ds.Name,
+		"features", ds.Schema.NumFeatures(), "alpha", *alpha,
+		"trace_sample", *traceSample)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -110,19 +151,39 @@ func main() {
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
 	select {
 	case err := <-serveErr:
-		log.Fatal(err)
+		fatal("serve", err)
 	case <-ctx.Done():
 	}
-	fmt.Println("draining: waiting for in-flight requests, then snapshotting")
+	logger.Info("draining: waiting for in-flight requests, then snapshotting")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	}
 	if err := srv.Close(); err != nil {
-		log.Fatalf("final snapshot: %v", err)
+		fatal("final snapshot", err)
 	}
-	fmt.Println("state saved; bye")
+	logger.Info("state saved; bye")
+}
+
+// opsMux serves the operational plane: metrics, health, traces, and
+// (optionally) pprof. Separate from the request mux so -metrics-addr can bind
+// it to a loopback or cluster-internal interface.
+func opsMux(srv *service.Server, tracer *obs.Tracer, pprofOn bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Default.Handler())
+	mux.Handle("/healthz", srv.HealthzHandler())
+	if tracer != nil {
+		mux.Handle("/debug/traces", tracer.Handler())
+	}
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
 }
 
 // instances extracts the test-split instances (the inference set).

@@ -1,0 +1,278 @@
+// Command obssmoke is the end-to-end observability gate (`make obs-smoke`):
+// it builds the real cceserver binary, boots it with tracing and a separate
+// ops listener, drives observe/explain traffic through the retrying client,
+// then scrapes /metrics, /healthz and /debug/traces and asserts the core
+// series actually moved. It exercises the full wiring — solver stage timers,
+// WAL instruments, request middleware, trace propagation — not the packages
+// in isolation.
+//
+// Exits 0 on success; prints the failed assertion and exits 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"syscall"
+	"time"
+
+	"github.com/xai-db/relativekeys/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "obs-smoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("obs-smoke: PASS")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "obssmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp) //rkvet:ignore dropperr best-effort temp cleanup
+
+	bin := filepath.Join(tmp, "cceserver")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/cceserver")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build cceserver: %w", err)
+	}
+
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	opsAddr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+
+	logPath := filepath.Join(tmp, "server.log")
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		return err
+	}
+	defer logFile.Close() //rkvet:ignore dropperr write-side close at exit; the log is diagnostic only
+	srv := exec.Command(bin,
+		"-addr", addr,
+		"-metrics-addr", opsAddr,
+		"-trace-sample", "1",
+		"-state", filepath.Join(tmp, "state"),
+		"-warm")
+	srv.Stdout, srv.Stderr = logFile, logFile
+	if err := srv.Start(); err != nil {
+		return fmt.Errorf("start cceserver: %w", err)
+	}
+	defer func() {
+		_ = srv.Process.Signal(syscall.SIGTERM) //rkvet:ignore dropperr teardown signal; Wait below reports the real outcome
+		_ = srv.Wait()                          //rkvet:ignore dropperr SIGTERM exit status is expected nonzero
+	}()
+
+	base := "http://" + addr
+	if err := waitReady(base+"/schema", 10*time.Second); err != nil {
+		return fmt.Errorf("%w\nserver log:\n%s", err, readLog(logPath))
+	}
+
+	// Drive traffic through the retrying client: a row observed a few times,
+	// then explained, so solver, WAL, monitor and middleware series all move.
+	client := service.NewClient(base)
+	values, prediction, err := firstInstance(base)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 10; i++ {
+		if err := client.Observe(values, prediction); err != nil {
+			return fmt.Errorf("observe %d: %w", i, err)
+		}
+	}
+	if _, err := client.Explain(values, prediction, 0); err != nil {
+		return fmt.Errorf("explain: %w", err)
+	}
+
+	// Scrape the ops listener and assert the load is visible.
+	metrics, err := get("http://" + opsAddr + "/metrics")
+	if err != nil {
+		return err
+	}
+	checks := []struct {
+		series string
+		min    float64
+	}{
+		{`rk_http_requests_total{endpoint="observe",code="200"}`, 10},
+		{`rk_http_requests_total{endpoint="explain",code="200"}`, 1},
+		{`rk_http_request_seconds_count{endpoint="explain"}`, 1},
+		{`rk_solver_stage_seconds_count{stage="srk_greedy"}`, 1},
+		{`rk_solver_stage_seconds_count{stage="osrk_observe"}`, 1},
+		{`rk_wal_append_seconds_count`, 10},
+		{`rk_wal_fsync_seconds_count`, 10},
+		{`rk_wal_append_bytes_total`, 1},
+		{`rk_context_rows`, 10},
+		{`rk_monitor_observations_total`, 10},
+	}
+	for _, c := range checks {
+		v, ok := seriesValue(metrics, c.series)
+		if !ok {
+			return fmt.Errorf("/metrics missing series %s\n%s", c.series, metrics)
+		}
+		if v < c.min {
+			return fmt.Errorf("series %s = %v, want >= %v", c.series, v, c.min)
+		}
+	}
+
+	// /healthz must be ok with zero failure counters.
+	healthBody, err := get("http://" + opsAddr + "/healthz")
+	if err != nil {
+		return err
+	}
+	var health struct {
+		Status           string `json:"status"`
+		ContextSize      int    `json:"context_size"`
+		RollbacksMonitor int64  `json:"observe_rollbacks_monitor"`
+		RollbacksWAL     int64  `json:"observe_rollbacks_wal"`
+	}
+	if err := json.Unmarshal([]byte(healthBody), &health); err != nil {
+		return fmt.Errorf("healthz decode: %w (%s)", err, healthBody)
+	}
+	if health.Status != "ok" || health.ContextSize < 10 {
+		return fmt.Errorf("healthz = %s", healthBody)
+	}
+	if health.RollbacksMonitor != 0 || health.RollbacksWAL != 0 {
+		return fmt.Errorf("unexpected rollbacks in %s", healthBody)
+	}
+
+	// With 1-in-1 sampling every request leaves a trace; the explain trace
+	// must carry a solver span.
+	traces, err := get("http://" + opsAddr + "/debug/traces")
+	if err != nil {
+		return err
+	}
+	var dump struct {
+		Traces []struct {
+			Name  string `json:"name"`
+			Spans []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(traces), &dump); err != nil {
+		return fmt.Errorf("traces decode: %w", err)
+	}
+	found := false
+	for _, tr := range dump.Traces {
+		if tr.Name != "explain" {
+			continue
+		}
+		for _, sp := range tr.Spans {
+			if sp.Name == "srk.greedy" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("no explain trace with an srk.greedy span:\n%s", traces)
+	}
+	return nil
+}
+
+// freeAddr grabs a loopback port from the kernel and releases it for the
+// server to claim. The tiny claim race is acceptable in a smoke test.
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	if err := l.Close(); err != nil {
+		return "", err
+	}
+	return addr, nil
+}
+
+// waitReady polls url until it answers 200 or the budget expires.
+func waitReady(url string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close() //rkvet:ignore dropperr read-side body close; nothing to recover
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("server not ready within %v", budget)
+}
+
+// firstInstance builds an instance from the served schema: every attribute's
+// first value, predicted as the first label.
+func firstInstance(base string) (map[string]string, string, error) {
+	body, err := get(base + "/schema")
+	if err != nil {
+		return nil, "", err
+	}
+	var schema struct {
+		Attributes []struct {
+			Name   string   `json:"name"`
+			Values []string `json:"values"`
+		} `json:"attributes"`
+		Labels []string `json:"labels"`
+	}
+	if err := json.Unmarshal([]byte(body), &schema); err != nil {
+		return nil, "", err
+	}
+	values := make(map[string]string, len(schema.Attributes))
+	for _, a := range schema.Attributes {
+		values[a.Name] = a.Values[0]
+	}
+	return values, schema.Labels[0], nil
+}
+
+func get(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close() //rkvet:ignore dropperr read-side body close; nothing to recover
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s: %s", url, resp.Status, b)
+	}
+	return string(b), nil
+}
+
+// seriesValue finds one exposition line by its full series name (with labels)
+// and parses its value.
+func seriesValue(exposition, series string) (float64, bool) {
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(series) + `(?:\{[^}]*\})?` + ` (\S+)$`)
+	m := re.FindStringSubmatch(exposition)
+	if m == nil {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func readLog(path string) string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "(no log: " + err.Error() + ")"
+	}
+	return string(b)
+}

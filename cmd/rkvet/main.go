@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	rkvet [-dir .] [-checkers maporder,poolpair,floateq,dropperr,lockcheck] [-list]
+//	rkvet [-dir .] [-checkers maporder,poolpair,floateq,dropperr,lockcheck,obsreg] [-list]
 //	rkvet -pkg internal/analysis/testdata/src/floateq [-pkgpath fixture/floateq]
 //
 // -pkg vets one standalone directory (stdlib imports only) instead of the

@@ -11,7 +11,10 @@
 //     helpers (the Budget scale-aware tolerance lesson, PR 1);
 //   - dropperr  — no silently discarded errors outside tests;
 //   - lockcheck — struct fields annotated "// guarded by <mu>" are only
-//     touched by methods that lock that mutex (or are *Locked helpers).
+//     touched by methods that lock that mutex (or are *Locked helpers);
+//   - obsreg    — metric names passed to the obs package-level constructors
+//     are compile-time constants, each registered exactly once module-wide
+//     (the global registry panics at runtime on duplicates).
 //
 // Intentional violations are documented in place with a suppression comment
 //
@@ -58,6 +61,7 @@ func AllCheckers() []Checker {
 		FloatEq{},
 		DropErr{},
 		LockCheck{},
+		NewObsReg(),
 	}
 }
 

@@ -20,6 +20,7 @@ var fixtureCases = []struct {
 	{FloatEq{}, "fixture/floateq"},
 	{DropErr{}, "fixture/dropperr"},
 	{LockCheck{}, "fixture/lockcheck"},
+	{NewObsReg(), "fixture/obsreg"},
 }
 
 // wantRe matches the expectation comments planted in fixtures:
@@ -150,11 +151,11 @@ func TestSuppressionScope(t *testing.T) {
 	}
 }
 
-// TestCheckerNames pins the registry: the suite is exactly the five checkers
+// TestCheckerNames pins the registry: the suite is exactly the six checkers
 // the Makefile, CI, and docs promise.
 func TestCheckerNames(t *testing.T) {
 	got := strings.Join(CheckerNames(), ",")
-	want := "maporder,poolpair,floateq,dropperr,lockcheck"
+	want := "maporder,poolpair,floateq,dropperr,lockcheck,obsreg"
 	if got != want {
 		t.Fatalf("CheckerNames() = %s, want %s", got, want)
 	}

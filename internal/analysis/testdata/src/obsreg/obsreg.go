@@ -1,0 +1,50 @@
+// Package obsregfix is the obsreg checker fixture. It declares stdlib-only
+// stand-ins for the obs package-level constructors (the checker matches by
+// callee name so fixtures need not import the real module) and plants one
+// duplicate registration, one non-constant metric name, one suppressed
+// duplicate, and method-form calls that must stay out of scope.
+package obsregfix
+
+type counter struct{ v int64 }
+
+type gauge struct{ v int64 }
+
+// NewCounter mimics obs.NewCounter: package-level, registers globally.
+func NewCounter(name, help string) *counter { return &counter{} }
+
+// NewGauge mimics obs.NewGauge.
+func NewGauge(name, help string) *gauge { return &gauge{} }
+
+// NewHistogram mimics obs.NewHistogram.
+func NewHistogram(name, help string, buckets []float64) *counter { return &counter{} }
+
+const sharedName = "fix_shared_seconds"
+
+var (
+	requestsTotal = NewCounter("fix_requests_total", "requests served")
+	rowsGauge     = NewGauge("fix_rows", "resident rows")
+	sharedHist    = NewHistogram(sharedName, "named via a const: still constant", nil)
+
+	dupCounter = NewCounter("fix_requests_total", "collides with requestsTotal") // want "already registered"
+
+	legacyRows = NewGauge("fix_rows", "legacy alias") //rkvet:ignore obsreg legacy dashboard alias, kept deliberately
+)
+
+// dynamicName registers under a runtime-chosen name, which the global
+// registry cannot dedupe statically.
+func dynamicName(n string) *counter {
+	return NewCounter(n+"_total", "suffix does not rescue a dynamic name") // want "compile-time constant"
+}
+
+// registry mimics an explicit non-global obs.Registry: its constructor
+// methods carry no cross-package collision hazard and must not be flagged.
+type registry struct{}
+
+// NewCounter is the method form; out of scope even with a colliding name.
+func (registry) NewCounter(name, help string) *counter { return &counter{} }
+
+// methodFormIgnored registers the already-seen names on a private registry.
+func methodFormIgnored() (*counter, *counter) {
+	r := registry{}
+	return r.NewCounter("fix_requests_total", "private registry"), r.NewCounter(sharedName, "private registry")
+}

@@ -1,0 +1,157 @@
+// Package benchsuite names the repository's hot-path micro-benchmarks as
+// plain functions so they can run outside `go test` via testing.Benchmark —
+// the seam `benchall -json` uses to emit machine-readable perf baselines
+// (BENCH_<date>.json) without shelling out to the test binary.
+//
+// Cases here are intentionally small and deterministic: each one pins a
+// single hot path (greedy solve, online observe, window advance, WAL append,
+// metric increments) whose regression would matter in production, not a
+// whole experiment.
+package benchsuite
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"github.com/xai-db/relativekeys/internal/cce"
+	"github.com/xai-db/relativekeys/internal/core"
+	"github.com/xai-db/relativekeys/internal/dataset"
+	"github.com/xai-db/relativekeys/internal/feature"
+	"github.com/xai-db/relativekeys/internal/model"
+	"github.com/xai-db/relativekeys/internal/obs"
+	"github.com/xai-db/relativekeys/internal/persist"
+)
+
+// Case is one named micro-benchmark.
+type Case struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// Cases returns the suite in a stable order.
+func Cases() []Case {
+	return []Case{
+		{Name: "core/srk", Fn: benchSRK(1.0)},
+		{Name: "core/srk_alpha09", Fn: benchSRK(0.9)},
+		{Name: "core/osrk_observe", Fn: benchOSRKObserve},
+		{Name: "cce/window_advance", Fn: benchWindowAdvance},
+		{Name: "persist/wal_append", Fn: benchWALAppend},
+		{Name: "obs/counter_inc", Fn: benchCounterInc},
+		{Name: "obs/histogram_observe", Fn: benchHistogramObserve},
+		{Name: "obs/span_unsampled", Fn: benchSpanUnsampled},
+	}
+}
+
+// loanContext builds the deterministic Loan benchmark context: the test-split
+// instances labeled by a trained forest, matching the repo's bench_test.go.
+func loanContext(b *testing.B) (*core.Context, []feature.Labeled, *feature.Schema) {
+	b.Helper()
+	ds, err := dataset.Load("loan", dataset.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := model.TrainForest(ds.Schema, ds.Train(), model.ForestConfig{NumTrees: 11, MaxDepth: 5, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var inference []feature.Labeled
+	for _, li := range ds.Test() {
+		inference = append(inference, feature.Labeled{X: li.X, Y: m.Predict(li.X)})
+	}
+	ctx, err := core.NewContext(ds.Schema, inference)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ctx, inference, ds.Schema
+}
+
+func benchSRK(alpha float64) func(b *testing.B) {
+	return func(b *testing.B) {
+		ctx, inference, _ := loanContext(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			li := inference[i%len(inference)]
+			if _, err := core.SRK(ctx, li.X, li.Y, alpha); err != nil && err != core.ErrNoKey {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchOSRKObserve(b *testing.B) {
+	_, inference, schema := loanContext(b)
+	o, err := core.NewOSRK(schema, inference[0].X, inference[0].Y, 1.0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Observe(inference[i%len(inference)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchWindowAdvance(b *testing.B) {
+	_, inference, schema := loanContext(b)
+	w, err := cce.NewWindow(schema, 128, 16, 1.0, cce.LastWins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Observe(inference[i%len(inference)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// nopSync satisfies persist.WriteSyncer over any writer; the benchmark pins
+// the append path (marshal + checksum + single write), not disk behaviour.
+type nopSync struct{ io.Writer }
+
+func (nopSync) Sync() error { return nil }
+
+func benchWALAppend(b *testing.B) {
+	_, inference, _ := loanContext(b)
+	w := persist.NewWAL(nopSync{io.Discard})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(uint64(i)+1, inference[i%len(inference)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchCounterInc(b *testing.B) {
+	c := obs.NewRegistry().NewCounter("rk_benchsuite_total", "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func benchHistogramObserve(b *testing.B) {
+	h := obs.NewRegistry().NewHistogram("rk_benchsuite_seconds", "bench", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.00042)
+	}
+}
+
+func benchSpanUnsampled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := obs.StartSpan(ctx, "bench")
+		sp.End()
+	}
+}

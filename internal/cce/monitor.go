@@ -76,6 +76,10 @@ func (d *DriftMonitor) ObserveCtx(ctx context.Context, li feature.Labeled) (int,
 	}
 	d.arrivals++
 	d.history = append(d.history, d.avgSuccinctnessLocked())
+	monitorObservations.Inc()
+	if numDegraded > 0 {
+		monitorDegraded.Add(int64(numDegraded))
+	}
 	return numDegraded, nil
 }
 

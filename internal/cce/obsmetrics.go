@@ -1,0 +1,25 @@
+package cce
+
+import (
+	"github.com/xai-db/relativekeys/internal/obs"
+)
+
+// CCE-layer observability (DESIGN.md §10): sliding-window maintenance cost,
+// policy-cache effectiveness, and drift-monitor throughput. Children are
+// resolved once at init so the per-event cost is a single atomic update.
+var (
+	windowAdvanceSeconds = obs.NewHistogram("rk_window_advance_seconds",
+		"Latency of one sliding-window advance (retire + admit one step of arrivals).",
+		nil)
+
+	windowCacheLookups = obs.NewCounterVec("rk_window_cache_total",
+		"Policy-cache lookups during FirstWins/UnionKey resolution, by result.",
+		"result")
+	windowCacheHits   = windowCacheLookups.With("hit")
+	windowCacheMisses = windowCacheLookups.With("miss")
+
+	monitorObservations = obs.NewCounter("rk_monitor_observations_total",
+		"Arrivals fed to the drift monitor panel.")
+	monitorDegraded = obs.NewCounter("rk_monitor_degraded_total",
+		"Panel OSRK updates that stopped early on an expired deadline.")
+)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/xai-db/relativekeys/internal/core"
 	"github.com/xai-db/relativekeys/internal/feature"
@@ -128,6 +129,7 @@ func (w *Window) Observe(li feature.Labeled) error {
 // capacity — the rebuild this replaced re-indexed all |I| rows per step.
 // Callers hold w.mu.
 func (w *Window) advanceLocked() error {
+	defer windowAdvanceSeconds.ObserveSince(time.Now())
 	for _, li := range w.buf {
 		if w.size == w.capacity {
 			if err := w.ctx.Remove(w.ring[w.head]); err != nil {
@@ -263,6 +265,11 @@ func (w *Window) ExplainCtx(ctx context.Context, x feature.Instance, y feature.L
 	}
 	id := instanceID(x, y)
 	prev, seen := w.cache[id]
+	if seen {
+		windowCacheHits.Inc()
+	} else {
+		windowCacheMisses.Inc()
+	}
 	var resolved core.Key
 	switch w.policy {
 	case FirstWins:

@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"errors"
+	"time"
 
 	"github.com/xai-db/relativekeys/internal/bitset"
 	"github.com/xai-db/relativekeys/internal/feature"
+	"github.com/xai-db/relativekeys/internal/obs"
 )
 
 // ErrDeadline is returned by context-aware solvers that were cancelled before
@@ -32,6 +34,23 @@ var ErrDeadline = errors.New("core: solver cancelled before a valid key was foun
 // feature set leaves more than the budget, no key exists and ErrNoKey is
 // returned exactly as in the undeadlined run.
 func SRKAnytime(ctx context.Context, c *Context, x feature.Instance, y feature.Label, alpha float64) (Key, bool, error) {
+	start := time.Now()
+	sp := obs.StartSpan(ctx, "srk.greedy")
+	key, degraded, err := srkAnytime(ctx, c, x, y, alpha)
+	sp.End()
+	srkGreedySeconds.ObserveSince(start)
+	if degraded {
+		srkDegraded.Inc()
+	}
+	if err == ErrNoKey {
+		solverNoKey.Inc()
+	}
+	return key, degraded, err
+}
+
+// srkAnytime is the uninstrumented greedy loop; SRKAnytime wraps it with the
+// stage timer, span, and degradation counter.
+func srkAnytime(ctx context.Context, c *Context, x feature.Instance, y feature.Label, alpha float64) (Key, bool, error) {
 	if err := ValidateAlpha(alpha); err != nil {
 		return nil, false, err
 	}
@@ -55,7 +74,11 @@ func SRKAnytime(ctx context.Context, c *Context, x feature.Instance, y feature.L
 	inE := make([]bool, n)
 	for len(E) < n {
 		if ctx.Err() != nil {
+			cstart := time.Now()
+			csp := obs.StartSpan(ctx, "srk.complete")
 			key, err := completeAnytime(c, x, d, E, inE, budget)
+			csp.End()
+			srkCompleteSeconds.ObserveSince(cstart)
 			return key, true, err
 		}
 		// Pick the feature leaving the fewest violators; Algorithm 1 leaves

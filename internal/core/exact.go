@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/xai-db/relativekeys/internal/feature"
+	"github.com/xai-db/relativekeys/internal/obs"
 )
 
 // ExactMinKey computes a most-succinct α-conformant key for x relative to c
@@ -24,6 +26,20 @@ func ExactMinKey(c *Context, x feature.Instance, y feature.Label, alpha float64,
 // as well as errors.Is against the context's own cause; callers degrade by
 // falling back to SRKAnytime, whose candidate is valid by construction.
 func ExactMinKeyCtx(ctx context.Context, c *Context, x feature.Instance, y feature.Label, alpha float64, maxFeatures int) (Key, error) {
+	start := time.Now()
+	sp := obs.StartSpan(ctx, "exact.dfs")
+	key, err := exactMinKeyCtx(ctx, c, x, y, alpha, maxFeatures)
+	sp.End()
+	exactDFSSeconds.ObserveSince(start)
+	if err == ErrNoKey {
+		solverNoKey.Inc()
+	}
+	return key, err
+}
+
+// exactMinKeyCtx is the uninstrumented search; ExactMinKeyCtx wraps it with
+// the stage timer and span.
+func exactMinKeyCtx(ctx context.Context, c *Context, x feature.Instance, y feature.Label, alpha float64, maxFeatures int) (Key, error) {
 	if err := ValidateAlpha(alpha); err != nil {
 		return nil, err
 	}

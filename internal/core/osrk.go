@@ -4,8 +4,10 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"time"
 
 	"github.com/xai-db/relativekeys/internal/feature"
+	"github.com/xai-db/relativekeys/internal/obs"
 )
 
 // OSRK implements Algorithm 2: randomized online monitoring of an
@@ -108,6 +110,20 @@ func (o *OSRK) Observe(li feature.Labeled) (Key, error) {
 // violators are tracked, so the next ObserveCtx resumes growing toward the
 // budget exactly where this one stopped.
 func (o *OSRK) ObserveCtx(ctx context.Context, li feature.Labeled) (Key, bool, error) {
+	start := time.Now()
+	sp := obs.StartSpan(ctx, "osrk.observe")
+	key, degraded, err := o.observeCtx(ctx, li)
+	sp.End()
+	osrkObserveSeconds.ObserveSince(start)
+	if degraded {
+		osrkDegraded.Inc()
+	}
+	return key, degraded, err
+}
+
+// observeCtx is the uninstrumented grow loop; ObserveCtx wraps it with the
+// stage timer, span, and degradation counter.
+func (o *OSRK) observeCtx(ctx context.Context, li feature.Labeled) (Key, bool, error) {
 	if err := o.c.Add(li); err != nil {
 		return nil, false, err
 	}

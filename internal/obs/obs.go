@@ -1,0 +1,211 @@
+// Package obs is the repo's stdlib-only observability layer (DESIGN.md §10):
+// a metrics registry with lock-free hot-path increments exposed in Prometheus
+// text exposition format, lightweight span tracing with per-request trace IDs,
+// and a leveled structured JSON logger. It exists so the serving stack —
+// solvers, CCE, persistence, cceserver — emits machine-readable numbers that
+// later scaling work can be measured against, without adding a dependency
+// (go.mod stays empty).
+//
+// Hot-path discipline: a Counter increment is one atomic add (< 20 ns,
+// benchmarked in bench_test.go), a Histogram observation is a bounds search
+// over a small fixed array plus three atomic operations, and every metric
+// type is a no-op on its nil zero value — "disabled" instrumentation is a nil
+// pointer, not a branch on shared state.
+//
+// Registration happens at package init through package-level vars; a
+// duplicate name panics immediately so a copy-pasted metric cannot silently
+// split its traffic between two series. rkvet's obsreg checker proves name
+// uniqueness statically for the same reason.
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/xai-db/relativekeys/internal/sortedkeys"
+)
+
+// collector is one registered metric family: it renders its series (one or
+// many, for vecs) in exposition order.
+type collector interface {
+	metricName() string
+	metricHelp() string
+	metricType() string
+	expose(buf *bytes.Buffer)
+}
+
+// desc is the name/help pair shared by every metric family.
+type desc struct {
+	name string
+	help string
+}
+
+func (d desc) metricName() string { return d.name }
+func (d desc) metricHelp() string { return d.help }
+
+// Registry holds metric families by name and renders them as Prometheus text
+// exposition format. The registry lock is taken only at registration and
+// scrape time — never on the increment path.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]collector // guarded by mu
+
+	// scrapeDrops counts scrapes whose response write failed (client gone
+	// mid-scrape); kept out of the registry itself to avoid self-registration.
+	scrapeDrops atomic.Int64
+}
+
+// NewRegistry returns an empty registry. Most code uses the package-level
+// Default registry via the top-level constructors.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]collector{}}
+}
+
+// Default is the process-wide registry the package-level constructors
+// register into and cceserver's /metrics endpoint serves.
+var Default = NewRegistry()
+
+// register adds a family, panicking on an invalid or duplicate name: metric
+// registration happens in package var blocks, so a duplicate is a programming
+// error best caught the first time the process starts.
+func (r *Registry) register(c collector) {
+	name := c.metricName()
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.metrics[name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	r.metrics[name] = c
+}
+
+// validMetricName enforces the Prometheus data-model name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName enforces [a-zA-Z_][a-zA-Z0-9_]* (no colons in label names).
+func validLabelName(name string) bool {
+	return validMetricName(name) && !strings.ContainsRune(name, ':')
+}
+
+// WriteProm renders every registered family, sorted by name, in Prometheus
+// text exposition format (version 0.0.4): # HELP and # TYPE comments followed
+// by the family's series. The whole scrape is assembled in memory first so a
+// slow client never holds the registry lock.
+func (r *Registry) WriteProm(w io.Writer) error {
+	var buf bytes.Buffer
+	r.mu.RLock()
+	for _, name := range sortedkeys.Of(r.metrics) {
+		c := r.metrics[name]
+		fmt.Fprintf(&buf, "# HELP %s %s\n", name, escapeHelp(c.metricHelp()))
+		fmt.Fprintf(&buf, "# TYPE %s %s\n", name, c.metricType())
+		c.expose(&buf)
+	}
+	r.mu.RUnlock()
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// Handler serves the registry at GET /metrics in text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WriteProm(w); err != nil {
+			// The response write failed mid-scrape: the client is gone and
+			// the connection is unusable, so count it and move on.
+			r.scrapeDrops.Add(1)
+		}
+	})
+}
+
+// ScrapeDrops reports how many scrapes failed writing their response.
+func (r *Registry) ScrapeDrops() int64 { return r.scrapeDrops.Load() }
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	var b bytes.Buffer
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue additionally escapes double quotes (label values are
+// quoted in the series line).
+func escapeLabelValue(s string) string {
+	var b bytes.Buffer
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '"':
+			b.WriteString(`\"`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// labelPairs renders `name="value",…` (no braces) for a child's label values,
+// in label-declaration order — deterministic because the order is the vec's,
+// not a map's.
+func labelPairs(names, values []string) string {
+	var b bytes.Buffer
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", n, escapeLabelValue(values[i]))
+	}
+	return b.String()
+}
+
+// seriesLine writes one `name{pairs} value` sample.
+func seriesLine(buf *bytes.Buffer, name, pairs, value string) {
+	buf.WriteString(name)
+	if pairs != "" {
+		buf.WriteByte('{')
+		buf.WriteString(pairs)
+		buf.WriteByte('}')
+	}
+	buf.WriteByte(' ')
+	buf.WriteString(value)
+	buf.WriteByte('\n')
+}

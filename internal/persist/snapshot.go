@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 
 	"github.com/xai-db/relativekeys/internal/feature"
 )
@@ -52,6 +53,7 @@ func snapshotChecksum(f *snapshotFile) (uint32, error) {
 // rename, directory fsync. A crash mid-save leaves the previous snapshot
 // intact.
 func SaveSnapshot(path string, schema *feature.Schema, items []feature.Labeled, seq uint64) error {
+	start := time.Now()
 	f := snapshotFile{
 		Version: snapshotVersion,
 		Seq:     seq,
@@ -66,9 +68,31 @@ func SaveSnapshot(path string, schema *feature.Schema, items []feature.Labeled, 
 		return err
 	}
 	f.CRC = crc
-	return WriteFileAtomic(path, func(w io.Writer) error {
-		return json.NewEncoder(w).Encode(&f)
+	var written int64
+	err = WriteFileAtomic(path, func(w io.Writer) error {
+		cw := &countingWriter{w: w}
+		err := json.NewEncoder(cw).Encode(&f)
+		written = cw.n
+		return err
 	})
+	if err != nil {
+		return err
+	}
+	snapshotBytes.Add(written)
+	snapshotSaveSeconds.ObserveSince(start)
+	return nil
+}
+
+// countingWriter tallies bytes passed through to w.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // LoadSnapshot reads a snapshot written by SaveSnapshot, verifying version,

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"github.com/xai-db/relativekeys/internal/feature"
 )
@@ -68,6 +69,7 @@ func NewWAL(w WriteSyncer) *WAL { return &WAL{w: w} }
 // earlier ones. Append does not sync; pair it with Sync per the caller's
 // durability policy.
 func (w *WAL) Append(seq uint64, li feature.Labeled) error {
+	start := time.Now()
 	rec := walRecord{Seq: seq, X: append([]int32(nil), li.X...), Y: li.Y}
 	crc, err := recordChecksum(&rec)
 	if err != nil {
@@ -82,16 +84,26 @@ func (w *WAL) Append(seq uint64, li feature.Labeled) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if _, err := w.w.Write(b); err != nil {
+		walAppendErrors.Inc()
 		return fmt.Errorf("persist: wal append: %w", err)
 	}
+	walAppendBytes.Add(int64(len(b)))
+	walAppendSeconds.ObserveSince(start)
 	return nil
 }
 
 // Sync flushes appended records to stable storage.
 func (w *WAL) Sync() error {
+	start := time.Now()
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.w.Sync()
+	err := w.w.Sync()
+	w.mu.Unlock()
+	if err != nil {
+		walFsyncErrors.Inc()
+		return err
+	}
+	walFsyncSeconds.ObserveSince(start)
+	return nil
 }
 
 // Close syncs and, when the WAL owns its file, closes it.
@@ -114,6 +126,17 @@ func (w *WAL) Close() error {
 // is untrusted. The return reports how many records were applied and whether
 // a damaged tail was dropped; fn errors abort the replay as-is.
 func ReplayWAL(r io.Reader, fn func(seq uint64, li feature.Labeled) error) (int, bool, error) {
+	applied, torn, err := replayWAL(r, fn)
+	walReplayRecords.Add(int64(applied))
+	if torn {
+		walReplayTorn.Inc()
+	}
+	return applied, torn, err
+}
+
+// replayWAL is the uninstrumented scan; ReplayWAL wraps it with the recovery
+// counters.
+func replayWAL(r io.Reader, fn func(seq uint64, li feature.Labeled) error) (int, bool, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	applied := 0

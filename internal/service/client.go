@@ -102,6 +102,7 @@ func (c *Client) do(send func() (*http.Response, error), out any) error {
 			if attempt >= c.MaxRetries {
 				return err
 			}
+			clientRetries.Inc()
 			c.backoff(attempt, 0)
 			continue
 		}
@@ -116,6 +117,7 @@ func (c *Client) do(send func() (*http.Response, error), out any) error {
 		if !retryableStatus(resp.StatusCode) || attempt >= c.MaxRetries {
 			return herr
 		}
+		clientRetries.Inc()
 		c.backoff(attempt, retryAfter)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"github.com/xai-db/relativekeys/internal/cce"
 	"github.com/xai-db/relativekeys/internal/core"
 	"github.com/xai-db/relativekeys/internal/feature"
+	"github.com/xai-db/relativekeys/internal/obs"
 	"github.com/xai-db/relativekeys/internal/persist"
 )
 
@@ -62,6 +64,9 @@ type Config struct {
 	WAL           *persist.WAL // overrides the StateDir log (fault-injection seam)
 	SnapshotEvery int          // observations per snapshot; 0 = 256
 	WALSyncEvery  int          // appends per fsync; 0 = 1 (sync every append)
+
+	Tracer *obs.Tracer // nil = no request sampling
+	Logger *obs.Logger // nil = silent
 }
 
 const (
@@ -103,6 +108,16 @@ type Server struct {
 	panicsRecovered atomic.Int64
 	syncFailures    atomic.Int64
 	snapFailures    atomic.Int64
+
+	// Observation rollbacks: the context add was undone after a downstream
+	// stage refused the row (monitor rejection, WAL append failure), so the
+	// client's retry is safe. Surfaced in /healthz and as obs counters.
+	monitorRollbacks atomic.Int64
+	walRollbacks     atomic.Int64
+
+	tracer *obs.Tracer // nil = no sampling
+	logger *obs.Logger // nil = silent
+	start  time.Time
 }
 
 // New builds a server with an empty, unbounded context.
@@ -145,6 +160,9 @@ func NewServer(cfg Config) (*Server, error) {
 		snapshotEvery:   cfg.SnapshotEvery,
 		walSyncEvery:    cfg.WALSyncEvery,
 		ctx:             ctx,
+		tracer:          cfg.Tracer,
+		logger:          cfg.Logger,
+		start:           time.Now(),
 	}
 	if s.solve == nil {
 		s.solve = core.SRKAnytime
@@ -242,6 +260,9 @@ func (s *Server) admitLocked(ctx context.Context, li feature.Labeled) (int, erro
 	}
 	if s.monitor != nil {
 		if _, err := s.monitor.ObserveCtx(ctx, li); err != nil {
+			s.monitorRollbacks.Add(1)
+			rollbackMonitor.Inc()
+			s.logger.Warn("observation rolled back: monitor rejected the row", "err", err)
 			if rerr := s.ctx.Remove(slot); rerr != nil {
 				return 0, monitorError{fmt.Errorf("%w (rollback failed: %v)", err, rerr)}
 			}
@@ -291,6 +312,9 @@ func (s *Server) observeLocked(ctx context.Context, li feature.Labeled) error {
 			// and the state stays exactly as before the request. The monitor
 			// has already counted the arrival; panel statistics may run one
 			// ahead, which is acceptable for a drift estimate.
+			s.walRollbacks.Add(1)
+			rollbackWAL.Inc()
+			s.logger.Warn("observation rolled back: wal append failed", "err", err)
 			if rerr := s.ctx.Remove(slot); rerr != nil {
 				return persistError{fmt.Errorf("%w (rollback failed: %v)", err, rerr)}
 			}
@@ -304,6 +328,8 @@ func (s *Server) observeLocked(ctx context.Context, li feature.Labeled) error {
 				// durability against power loss is uncertain. Count it rather
 				// than force the client into a duplicating retry.
 				s.syncFailures.Add(1)
+				walSyncFailures.Inc()
+				s.logger.Warn("wal sync failed", "err", err)
 			}
 		}
 	}
@@ -316,6 +342,8 @@ func (s *Server) observeLocked(ctx context.Context, li feature.Labeled) error {
 			// The WAL still covers everything since the last good snapshot;
 			// recovery just replays more.
 			s.snapFailures.Add(1)
+			snapshotFailures.Inc()
+			s.logger.Warn("periodic snapshot failed", "err", err)
 		}
 	}
 	return nil
@@ -372,6 +400,17 @@ func (s *Server) Close() error {
 	return err
 }
 
+// ContextSize reports the live rows in the explanation context.
+func (s *Server) ContextSize() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ctx.Len()
+}
+
+// HealthzHandler exposes /healthz standalone, for an ops mux bound to a
+// separate (firewalled) listener.
+func (s *Server) HealthzHandler() http.Handler { return http.HandlerFunc(s.handleHealthz) }
+
 // Seq reports the sequence number of the last admitted observation.
 func (s *Server) Seq() uint64 {
 	s.mu.RLock()
@@ -401,7 +440,45 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/observe", s.handleObserve)
 	mux.HandleFunc("/explain", s.handleExplain)
 	mux.HandleFunc("/stats", s.handleStats)
-	return s.recoverPanics(mux)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", obs.Default.Handler())
+	if s.tracer != nil {
+		mux.Handle("/debug/traces", s.tracer.Handler())
+	}
+	return s.instrument(s.recoverPanics(mux))
+}
+
+// instrument is the outermost middleware: it tracks in-flight requests,
+// records per-endpoint traffic and latency, and starts a sampled trace whose
+// spans downstream stages (solvers, WAL, snapshot) attach to via the request
+// context. The unsampled path costs one atomic add on the tracer plus the
+// endpoint instruments.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		endpoint := endpointLabel(r.URL.Path)
+		httpInFlight.Inc()
+		defer httpInFlight.Dec()
+		if tr := s.tracer.Start(endpoint); tr != nil {
+			defer tr.Finish()
+			r = r.WithContext(obs.ContextWithTrace(r.Context(), tr))
+		}
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		httpSeconds.With(endpoint).ObserveSince(start)
+		httpRequests.With(endpoint, strconv.Itoa(rec.code)).Inc()
+	})
+}
+
+// statusRecorder captures the response code for the request metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
 }
 
 // recoverPanics converts handler panics into 500s so one poisoned request
@@ -418,6 +495,8 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 				panic(p)
 			}
 			s.panicsRecovered.Add(1)
+			panicsRecoveredTotal.Inc()
+			s.logger.Error("handler panic recovered", "panic", fmt.Sprint(p), "path", r.URL.Path)
 			http.Error(w, fmt.Sprintf("internal error: %v", p), http.StatusInternalServerError)
 		}()
 		next.ServeHTTP(w, r)
@@ -466,8 +545,25 @@ type StatsResponse struct {
 	PanicsRecovered  int64   `json:"panics_recovered,omitempty"`
 	SyncFailures     int64   `json:"wal_sync_failures,omitempty"`
 	SnapshotFailures int64   `json:"snapshot_failures,omitempty"`
+	RollbacksMonitor int64   `json:"observe_rollbacks_monitor,omitempty"`
+	RollbacksWAL     int64   `json:"observe_rollbacks_wal,omitempty"`
 	Seq              uint64  `json:"seq,omitempty"`
 	PersistenceOn    bool    `json:"persistence_active,omitempty"`
+}
+
+// HealthResponse is the /healthz body: liveness plus the failure counters an
+// operator checks first — observation rollbacks (client-visible 500/503s with
+// state correctly undone), durability hiccups, and recovered panics.
+type HealthResponse struct {
+	Status           string `json:"status"` // "ok" or "draining"
+	UptimeSeconds    int64  `json:"uptime_seconds"`
+	ContextSize      int    `json:"context_size"`
+	Seq              uint64 `json:"seq"`
+	RollbacksMonitor int64  `json:"observe_rollbacks_monitor"`
+	RollbacksWAL     int64  `json:"observe_rollbacks_wal"`
+	SyncFailures     int64  `json:"wal_sync_failures"`
+	SnapshotFailures int64  `json:"snapshot_failures"`
+	PanicsRecovered  int64  `json:"panics_recovered"`
 }
 
 // monitorError marks drift-monitor failures (server-side, 500) so the
@@ -524,6 +620,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		shedDraining.Inc()
 		unavailable(w, errDraining.Error())
 		return
 	}
@@ -577,6 +674,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	// The hard floor: below it the degraded answer would be all features —
 	// useless as an explanation — so shed instead of wasting the work.
 	if s.minDeadline > 0 && deadline > 0 && deadline < s.minDeadline {
+		shedDeadlineFloor.Inc()
 		unavailable(w, fmt.Sprintf("deadline %v below the service floor %v", deadline, s.minDeadline))
 		return
 	}
@@ -586,6 +684,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			defer func() { <-s.sem }()
 		default:
 			s.shedTotal.Add(1)
+			shedOverload.Inc()
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "too many in-flight explains", http.StatusTooManyRequests)
 			return
@@ -600,6 +699,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
+		shedDraining.Inc()
 		unavailable(w, errDraining.Error())
 		return
 	}
@@ -614,6 +714,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	if degraded {
 		s.degradedTotal.Add(1)
+		explainDegraded.Inc()
 	}
 	resp := ExplainResponse{
 		Rule:      key.RenderRule(s.schema, li.X, li.Y),
@@ -644,6 +745,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PanicsRecovered:  s.panicsRecovered.Load(),
 		SyncFailures:     s.syncFailures.Load(),
 		SnapshotFailures: s.snapFailures.Load(),
+		RollbacksMonitor: s.monitorRollbacks.Load(),
+		RollbacksWAL:     s.walRollbacks.Load(),
 		Seq:              s.seq,
 		PersistenceOn:    s.wal != nil || s.snapPath != "",
 	}
@@ -653,6 +756,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.MonitorArrivals = s.monitor.Arrivals()
 	}
 	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	status := "ok"
+	if s.closed {
+		status = "draining"
+	}
+	writeJSON(w, HealthResponse{
+		Status:           status,
+		UptimeSeconds:    int64(time.Since(s.start).Seconds()),
+		ContextSize:      s.ctx.Len(),
+		Seq:              s.seq,
+		RollbacksMonitor: s.monitorRollbacks.Load(),
+		RollbacksWAL:     s.walRollbacks.Load(),
+		SyncFailures:     s.syncFailures.Load(),
+		SnapshotFailures: s.snapFailures.Load(),
+		PanicsRecovered:  s.panicsRecovered.Load(),
+	})
 }
 
 // decode converts a name→value map and label string into a labeled instance.
