@@ -31,10 +31,12 @@ race:
 	$(GO) test -race ./...
 
 # The incremental-window benchmarks: advance cost must stay flat across
-# capacities, Disagreeing must be word-parallel, SRK must not allocate.
+# capacities, Disagreeing must be word-parallel, SRK must not allocate —
+# plus the intra-solve parallelism grid (internal/benchsuite).
 bench:
 	$(GO) test -run=NONE -bench 'WindowAdvance|WindowExplain|Disagreeing|RemoveAdd|BenchmarkSRK$$' -benchmem \
 		./internal/cce/ ./internal/core/
+	$(GO) test -run=NONE -bench 'SRKParallel' -benchmem ./internal/benchsuite/
 
 # Machine-readable perf baseline: every internal/benchsuite hot-path case
 # (SRK solve, OSRK observe, window advance, WAL append, obs instruments) run
@@ -54,18 +56,21 @@ obs-smoke:
 # target per invocation, hence the fan-out.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzSetOps          -fuzztime=$(FUZZTIME) ./internal/bitset/
+	$(GO) test -run=NONE -fuzz=FuzzStripedCard     -fuzztime=$(FUZZTIME) ./internal/bitset/
 	$(GO) test -run=NONE -fuzz=FuzzBucketer        -fuzztime=$(FUZZTIME) ./internal/feature/
 	$(GO) test -run=NONE -fuzz=FuzzBucketByCuts    -fuzztime=$(FUZZTIME) ./internal/feature/
 	$(GO) test -run=NONE -fuzz=FuzzContextRemoveAdd -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -run=NONE -fuzz=FuzzSolver          -fuzztime=$(FUZZTIME) ./internal/sat/
 
 # The fault-injection suite under the race detector: deadline degradation,
-# crash recovery from torn logs, load shedding, panic survival, and the
-# concurrent rollback invariant, all with injected solver/monitor/log faults
+# crash recovery from torn logs, load shedding, panic survival, the
+# concurrent rollback invariant, and the striped-solver stress/chaos tests
+# (parallel solves racing window advances, injector-timed mid-round
+# cancellation), all with injected solver/monitor/log faults
 # (internal/faultinject). -short keeps the request volume CI-sized.
 chaos-smoke:
-	$(GO) test -race -short -run 'Chaos|Robust|Recovery|Degrade|Shed|Panic|Torn|Deadline|Closed' \
-		./internal/service/ ./internal/faultinject/ ./internal/persist/
+	$(GO) test -race -short -run 'Chaos|Robust|Recovery|Degrade|Shed|Panic|Torn|Deadline|Closed|ParallelStress' \
+		./internal/service/ ./internal/faultinject/ ./internal/persist/ ./internal/cce/
 
 # Tier-1 gate from ROADMAP.md.
 tier1: build test

@@ -100,8 +100,9 @@ func runBenchJSON(path string) error {
 	doc := struct {
 		Date    string        `json:"date"`
 		GoOS    string        `json:"goos"`
+		Procs   int           `json:"gomaxprocs"`
 		Results []benchRecord `json:"results"`
-	}{Date: time.Now().Format("2006-01-02"), GoOS: runtime.GOOS + "/" + runtime.GOARCH}
+	}{Date: time.Now().Format("2006-01-02"), GoOS: runtime.GOOS + "/" + runtime.GOARCH, Procs: runtime.GOMAXPROCS(0)}
 	for _, c := range benchsuite.Cases() {
 		r := testing.Benchmark(c.Fn)
 		rec := benchRecord{

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	cceserver [-addr :8080] [-dataset loan] [-alpha 1.0] [-panel 10] [-retain 0] [-warm]
+//	          [-solver-parallelism NumCPU]
 //	          [-deadline 0] [-min-deadline 0] [-max-inflight 0]
 //	          [-state DIR] [-snapshot-every 256] [-wal-sync-every 1]
 //	          [-metrics-addr ""] [-trace-sample 0] [-pprof] [-log-level info]
@@ -29,6 +30,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -48,6 +50,8 @@ func main() {
 		panel  = flag.Int("panel", 10, "drift-monitor panel size (0 disables)")
 		retain = flag.Int("retain", 0, "keep only the most recent N observations in the context (0 = unbounded)")
 		warm   = flag.Bool("warm", false, "pre-populate the context with a trained model's inference log")
+
+		solverPar = flag.Int("solver-parallelism", runtime.NumCPU(), "workers per explain solve; contexts under the row threshold solve sequentially regardless (1 = always sequential)")
 
 		deadline    = flag.Duration("deadline", 0, "default per-explain solve deadline; past it the answer degrades to a larger-but-valid key (0 = none)")
 		minDeadline = flag.Duration("min-deadline", 0, "hard floor: explains asking for less shed with 503 (0 = none)")
@@ -95,6 +99,7 @@ func main() {
 		Alpha:           *alpha,
 		PanelSize:       *panel,
 		Retain:          *retain,
+		Parallelism:     *solverPar,
 		DefaultDeadline: *deadline,
 		MinDeadline:     *minDeadline,
 		MaxInFlight:     *maxInflight,
@@ -142,6 +147,7 @@ func main() {
 	logger.Info("listening",
 		"addr", *addr, "dataset", ds.Name,
 		"features", ds.Schema.NumFeatures(), "alpha", *alpha,
+		"solver_parallelism", *solverPar,
 		"trace_sample", *traceSample)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

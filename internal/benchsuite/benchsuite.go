@@ -31,7 +31,7 @@ type Case struct {
 
 // Cases returns the suite in a stable order.
 func Cases() []Case {
-	return []Case{
+	cases := []Case{
 		{Name: "core/srk", Fn: benchSRK(1.0)},
 		{Name: "core/srk_alpha09", Fn: benchSRK(0.9)},
 		{Name: "core/osrk_observe", Fn: benchOSRKObserve},
@@ -41,6 +41,7 @@ func Cases() []Case {
 		{Name: "obs/histogram_observe", Fn: benchHistogramObserve},
 		{Name: "obs/span_unsampled", Fn: benchSpanUnsampled},
 	}
+	return append(cases, parallelCases()...)
 }
 
 // loanContext builds the deterministic Loan benchmark context: the test-split

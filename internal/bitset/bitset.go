@@ -132,6 +132,85 @@ func (s *Set) AndNotCard(t *Set) int {
 	return c
 }
 
+// NumWords returns the number of 64-bit words backing the set — the unit the
+// striped kernels below partition. Stripe boundaries are word indices, never
+// bit indices, so a stripe split can never tear a word in half.
+func (s *Set) NumWords() int { return len(s.words) }
+
+// clampRange clips a word range to the backing array so the striped kernels
+// accept arbitrary (including empty or oversized) stripe boundaries: callers
+// partition [0, NumWords()) however they like and out-of-range slack is
+// simply empty.
+func (s *Set) clampRange(lo, hi int) (int, int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > len(s.words) {
+		lo = len(s.words)
+	}
+	if hi > len(s.words) {
+		hi = len(s.words)
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// CountRange returns the number of set bits whose word index lies in
+// [lo, hi). Summing over a partition of [0, NumWords()) equals Count.
+func (s *Set) CountRange(lo, hi int) int {
+	lo, hi = s.clampRange(lo, hi)
+	c := 0
+	for _, w := range s.words[lo:hi] {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AndCardRange returns |s ∩ t| restricted to words [lo, hi) of both sets,
+// without modifying either. It is the striped partial reduction behind the
+// parallel solver: summing AndCardRange over a partition of [0, NumWords())
+// equals AndCard exactly (integer partial sums, no reassociation error).
+func (s *Set) AndCardRange(t *Set, lo, hi int) int {
+	lo, hi = s.clampRange(lo, hi)
+	c := 0
+	for i := lo; i < hi; i++ {
+		c += bits.OnesCount64(s.words[i] & t.words[i])
+	}
+	return c
+}
+
+// AndNotCardRange returns |s \ t| restricted to words [lo, hi); the striped
+// counterpart of AndNotCard.
+func (s *Set) AndNotCardRange(t *Set, lo, hi int) int {
+	lo, hi = s.clampRange(lo, hi)
+	c := 0
+	for i := lo; i < hi; i++ {
+		c += bits.OnesCount64(s.words[i] &^ t.words[i])
+	}
+	return c
+}
+
+// AndRange replaces words [lo, hi) of s with s ∩ t, leaving the rest of s
+// untouched. Disjoint word ranges touch disjoint memory, so stripe workers
+// may apply AndRange to a shared set concurrently without synchronization.
+func (s *Set) AndRange(t *Set, lo, hi int) {
+	lo, hi = s.clampRange(lo, hi)
+	for i := lo; i < hi; i++ {
+		s.words[i] &= t.words[i]
+	}
+}
+
+// AndNotRange replaces words [lo, hi) of s with s \ t; see AndRange for the
+// concurrent-stripes contract.
+func (s *Set) AndNotRange(t *Set, lo, hi int) {
+	lo, hi = s.clampRange(lo, hi)
+	for i := lo; i < hi; i++ {
+		s.words[i] &^= t.words[i]
+	}
+}
+
 // ForEach calls fn for every set bit in ascending order. Iteration stops if
 // fn returns false.
 func (s *Set) ForEach(fn func(i int) bool) {

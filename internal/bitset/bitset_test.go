@@ -217,3 +217,101 @@ func TestQuickCardinalities(t *testing.T) {
 		}
 	}
 }
+
+// TestRangeKernelsMatchWhole checks the striped kernels against their
+// whole-set counterparts over every split point of sets sized to cross word
+// boundaries (the off-by-one risk: bit 63/64 and the ragged final word).
+func TestRangeKernelsMatchWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 63, 64, 65, 127, 128, 129, 300} {
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Add(i)
+			}
+			if rng.Intn(3) == 0 {
+				b.Add(i)
+			}
+		}
+		words := a.NumWords()
+		if want := (n + 63) / 64; words != want {
+			t.Fatalf("n=%d: NumWords=%d want %d", n, words, want)
+		}
+		for cut := 0; cut <= words; cut++ {
+			if got := a.CountRange(0, cut) + a.CountRange(cut, words); got != a.Count() {
+				t.Fatalf("n=%d cut=%d: CountRange split=%d want %d", n, cut, got, a.Count())
+			}
+			if got := a.AndCardRange(b, 0, cut) + a.AndCardRange(b, cut, words); got != a.AndCard(b) {
+				t.Fatalf("n=%d cut=%d: AndCardRange split=%d want %d", n, cut, got, a.AndCard(b))
+			}
+			if got := a.AndNotCardRange(b, 0, cut) + a.AndNotCardRange(b, cut, words); got != a.AndNotCard(b) {
+				t.Fatalf("n=%d cut=%d: AndNotCardRange split=%d want %d", n, cut, got, a.AndNotCard(b))
+			}
+		}
+	}
+}
+
+// TestRangeMutatorsMatchWhole applies AndRange/AndNotRange over a partition
+// and checks the result equals the whole-set operation.
+func TestRangeMutatorsMatchWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 64, 65, 200} {
+		for trial := 0; trial < 10; trial++ {
+			a, b := New(n), New(n)
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					a.Add(i)
+				}
+				if rng.Intn(2) == 0 {
+					b.Add(i)
+				}
+			}
+			words := a.NumWords()
+			cut := rng.Intn(words + 1)
+
+			wantAnd := a.Clone()
+			wantAnd.And(b)
+			gotAnd := a.Clone()
+			gotAnd.AndRange(b, 0, cut)
+			gotAnd.AndRange(b, cut, words)
+			if !gotAnd.Equal(wantAnd) {
+				t.Fatalf("n=%d cut=%d: AndRange partition differs from And", n, cut)
+			}
+
+			wantNot := a.Clone()
+			wantNot.AndNot(b)
+			gotNot := a.Clone()
+			gotNot.AndNotRange(b, 0, cut)
+			gotNot.AndNotRange(b, cut, words)
+			if !gotNot.Equal(wantNot) {
+				t.Fatalf("n=%d cut=%d: AndNotRange partition differs from AndNot", n, cut)
+			}
+		}
+	}
+}
+
+// TestRangeClamping: out-of-range and inverted stripe boundaries are clipped,
+// never panic, and contribute nothing.
+func TestRangeClamping(t *testing.T) {
+	a, b := New(130), New(130)
+	for i := 0; i < 130; i += 3 {
+		a.Add(i)
+	}
+	for i := 0; i < 130; i += 2 {
+		b.Add(i)
+	}
+	if got := a.AndCardRange(b, -5, 99); got != a.AndCard(b) {
+		t.Fatalf("negative lo not clamped: %d want %d", got, a.AndCard(b))
+	}
+	if got := a.AndNotCardRange(b, 0, 99); got != a.AndNotCard(b) {
+		t.Fatalf("oversized hi not clamped: %d want %d", got, a.AndNotCard(b))
+	}
+	if got := a.CountRange(2, 1); got != 0 {
+		t.Fatalf("inverted range = %d, want 0", got)
+	}
+	cl := a.Clone()
+	cl.AndRange(b, 7, 3)
+	if !cl.Equal(a) {
+		t.Fatal("inverted AndRange mutated the set")
+	}
+}

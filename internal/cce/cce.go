@@ -22,9 +22,17 @@ import (
 )
 
 // Batch is CCE's batch mode: the complete inference context is available.
+//
+// Parallelism bounds the intra-solve worker count of each explain (DESIGN.md
+// §11): values above 1 score greedy rounds across that many goroutines once
+// the context reaches core.MinParallelRows, with byte-identical results.
+// 0 or 1 keeps solves sequential. This is a second axis on top of
+// ExplainAll's request-level fan-out — size the product of the two to the
+// machine, not each factor alone.
 type Batch struct {
-	Ctx   *core.Context
-	Alpha float64
+	Ctx         *core.Context
+	Alpha       float64
+	Parallelism int
 }
 
 // NewBatch indexes the inference set as the explanation context.
@@ -42,7 +50,7 @@ func NewBatch(schema *feature.Schema, inference []feature.Labeled, alpha float64
 // Explain computes the α-conformant relative key for an instance whose
 // prediction is known client-side.
 func (b *Batch) Explain(x feature.Instance, y feature.Label) (core.Key, error) {
-	return core.SRK(b.Ctx, x, y, b.Alpha)
+	return core.SRKPar(b.Ctx, x, y, b.Alpha, b.Parallelism)
 }
 
 // ExplainCtx is Explain under a deadline: the solve is cancellable, and an
@@ -50,7 +58,7 @@ func (b *Batch) Explain(x feature.Instance, y feature.Label) (core.Key, error) {
 // instead of erroring — the deployment contract of a client-side service that
 // must answer every query within its latency budget.
 func (b *Batch) ExplainCtx(ctx context.Context, x feature.Instance, y feature.Label) (core.Key, bool, error) {
-	return core.SRKAnytime(ctx, b.Ctx, x, y, b.Alpha)
+	return core.SRKAnytimePar(ctx, b.Ctx, x, y, b.Alpha, b.Parallelism)
 }
 
 // ExplainAll explains many instances concurrently across workers goroutines

@@ -34,9 +34,16 @@ var ErrDeadline = errors.New("core: solver cancelled before a valid key was foun
 // feature set leaves more than the budget, no key exists and ErrNoKey is
 // returned exactly as in the undeadlined run.
 func SRKAnytime(ctx context.Context, c *Context, x feature.Instance, y feature.Label, alpha float64) (Key, bool, error) {
+	return srkAnytimeInstrumented(ctx, c, x, y, alpha, 1)
+}
+
+// srkAnytimeInstrumented is the shared entry of SRKAnytime and SRKAnytimePar:
+// the greedy loop wrapped with the stage timer, span, and degradation
+// counter.
+func srkAnytimeInstrumented(ctx context.Context, c *Context, x feature.Instance, y feature.Label, alpha float64, par int) (Key, bool, error) {
 	start := time.Now()
 	sp := obs.StartSpan(ctx, "srk.greedy")
-	key, degraded, err := srkAnytime(ctx, c, x, y, alpha)
+	key, degraded, err := srkAnytime(ctx, c, x, y, alpha, par)
 	sp.End()
 	srkGreedySeconds.ObserveSince(start)
 	if degraded {
@@ -48,9 +55,10 @@ func SRKAnytime(ctx context.Context, c *Context, x feature.Instance, y feature.L
 	return key, degraded, err
 }
 
-// srkAnytime is the uninstrumented greedy loop; SRKAnytime wraps it with the
-// stage timer, span, and degradation counter.
-func srkAnytime(ctx context.Context, c *Context, x feature.Instance, y feature.Label, alpha float64) (Key, bool, error) {
+// srkAnytime is the uninstrumented greedy loop. par > 1 scores each round's
+// candidates concurrently (see roundScorer in parallel.go); the pick, and
+// therefore the key, is byte-identical to the sequential scan.
+func srkAnytime(ctx context.Context, c *Context, x feature.Instance, y feature.Label, alpha float64, par int) (Key, bool, error) {
 	if err := ValidateAlpha(alpha); err != nil {
 		return nil, false, err
 	}
@@ -71,6 +79,13 @@ func srkAnytime(ctx context.Context, c *Context, x feature.Instance, y feature.L
 		return E, false, nil // the empty key already satisfies α
 	}
 
+	// The scorer exists only on the parallel path; the sequential loop below
+	// stays allocation-free.
+	var scorer *roundScorer
+	if workers := solverWorkers(par, c.Len()); workers > 1 {
+		scorer = newRoundScorer(c, x, workers)
+	}
+
 	inE := make([]bool, n)
 	for len(E) < n {
 		if ctx.Err() != nil {
@@ -86,17 +101,21 @@ func srkAnytime(ctx context.Context, c *Context, x feature.Instance, y feature.L
 		// is most frequent in the context — equally conformant but far more
 		// general explanations (higher recall, §7.1 measure (c)).
 		bestAttr, bestCard, bestFreq := -1, -1, -1
-		for a := 0; a < n; a++ {
-			if inE[a] {
-				continue
-			}
-			post := c.Posting(a, x[a])
-			card := d.AndCard(post)
-			if bestCard < 0 || card < bestCard {
-				bestAttr, bestCard, bestFreq = a, card, post.Count()
-			} else if card == bestCard {
-				if freq := post.Count(); freq > bestFreq {
-					bestAttr, bestFreq = a, freq
+		if scorer != nil {
+			bestAttr, bestCard, bestFreq = scorer.score(d, inE)
+		} else {
+			for a := 0; a < n; a++ {
+				if inE[a] {
+					continue
+				}
+				post := c.Posting(a, x[a])
+				card := d.AndCard(post)
+				if bestCard < 0 || card < bestCard {
+					bestAttr, bestCard, bestFreq = a, card, post.Count()
+				} else if card == bestCard {
+					if freq := post.Count(); freq > bestFreq {
+						bestAttr, bestFreq = a, freq
+					}
 				}
 			}
 		}

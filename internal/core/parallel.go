@@ -1,0 +1,285 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/xai-db/relativekeys/internal/bitset"
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+// Intra-explanation parallelism (DESIGN.md §11). The solvers are bound by
+// violation/coverage counting over the bitset index; request-level fan-out
+// (cce.Batch.ExplainAll) cannot help the tail latency of ONE explain over a
+// large context. This file adds the second axis: the row dimension of a
+// Context is striped into word-aligned segments so the counting primitives
+// become parallel partial reductions, and the SRK greedy round scores all
+// candidate features concurrently with a deterministic argmin reduction.
+// Every parallel path is byte-identical to its sequential counterpart
+// (asserted by the differential tests in parallel_test.go): partial sums are
+// exact integers, and reductions replay the sequential tie-break in feature
+// index order.
+
+// MinParallelRows is the context size below which the parallel solvers fall
+// back to the sequential path: under it a solve is a few microseconds and the
+// goroutine fan-out would cost more than it saves, so small contexts pay zero
+// overhead. It is read once at the start of each solve; change it only at
+// init/test setup, not while solves are in flight.
+var MinParallelRows = 4096
+
+// solverWorkers resolves the effective worker count for a solve: par ≤ 1 or
+// a context under the row threshold means sequential.
+func solverWorkers(par, rows int) int {
+	if par <= 1 || rows < MinParallelRows {
+		return 1
+	}
+	return par
+}
+
+// stripeBounds returns the word range [lo, hi) of stripe s out of `stripes`
+// equal partitions of `words` words. Bounds are word indices (so stripes are
+// word-aligned by construction) and tile [0, words) exactly; when words <
+// stripes the tail stripes are empty, which the range kernels treat as
+// zero-contribution.
+func stripeBounds(words, stripes, s int) (int, int) {
+	return s * words / stripes, (s + 1) * words / stripes
+}
+
+// SRKPar is SRK solving with up to par concurrent workers inside the single
+// explain. The result is byte-identical to SRK on every input; par ≤ 1 (or a
+// context smaller than MinParallelRows) is exactly SRK.
+func SRKPar(c *Context, x feature.Instance, y feature.Label, alpha float64, par int) (Key, error) {
+	key, _, err := SRKAnytimePar(context.Background(), c, x, y, alpha, par)
+	return key, err
+}
+
+// SRKAnytimePar is SRKAnytime with intra-solve parallelism: each greedy round
+// scores the candidate features across par workers (striping rows when there
+// are more workers than candidates) and reduces to the same pick the
+// sequential round makes. Cancellation is still checked once per round, and
+// the degraded completion pass is sequential in both variants, so parallel
+// and sequential runs return byte-identical keys.
+func SRKAnytimePar(ctx context.Context, c *Context, x feature.Instance, y feature.Label, alpha float64, par int) (Key, bool, error) {
+	return srkAnytimeInstrumented(ctx, c, x, y, alpha, par)
+}
+
+// roundScorer runs one greedy round's candidate scoring across a fixed
+// worker pool size. Work units are (candidate, stripe) pairs handed out by an
+// atomic counter: with at least as many candidates as workers each candidate
+// is scored whole (one AndCard pass), otherwise the row dimension is striped
+// so all workers stay busy on wide-but-few-featured contexts. Partial counts
+// are exact integers accumulated with atomic adds, so the summed score of a
+// candidate is identical regardless of stripe interleaving; the argmin
+// reduction then walks candidates in ascending feature order replaying the
+// sequential tie-break (fewest violations, then most frequent value, then
+// lowest index) — which is what makes parallel picks byte-identical.
+//
+// The scratch slices live for one solve and are reused across its rounds; the
+// sequential path never allocates them, keeping its zero-allocation property.
+type roundScorer struct {
+	c       *Context
+	x       feature.Instance
+	workers int
+	cands   []int
+	counts  []int64 // per-attr violation counts; atomic adds during a round
+	freqs   []int   // per-attr posting cardinality; stripe-0 worker writes, join reads
+}
+
+func newRoundScorer(c *Context, x feature.Instance, workers int) *roundScorer {
+	n := c.Schema.NumFeatures()
+	return &roundScorer{
+		c:       c,
+		x:       x,
+		workers: workers,
+		cands:   make([]int, 0, n),
+		counts:  make([]int64, n),
+		freqs:   make([]int, n),
+	}
+}
+
+// score runs one parallel round over the survivor set d and returns the pick
+// under the sequential tie-break. All workers are joined before it returns:
+// no goroutine outlives the round, so the caller's pooled scratch can never
+// be touched after the solve returns it to the pool.
+func (rs *roundScorer) score(d *bitset.Set, inE []bool) (bestAttr, bestCard, bestFreq int) {
+	start := time.Now()
+	rs.cands = rs.cands[:0]
+	for a, in := range inE {
+		if !in {
+			rs.cands = append(rs.cands, a)
+			rs.counts[a] = 0
+		}
+	}
+	if len(rs.cands) == 0 {
+		return -1, -1, -1
+	}
+	stripes := 1
+	if len(rs.cands) < rs.workers {
+		stripes = (rs.workers + len(rs.cands) - 1) / len(rs.cands)
+	}
+	words := d.NumWords()
+	units := len(rs.cands) * stripes
+	workers := rs.workers
+	if workers > units {
+		workers = units
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				u := int(next.Add(1)) - 1
+				if u >= units {
+					return
+				}
+				a := rs.cands[u/stripes]
+				lo, hi := stripeBounds(words, stripes, u%stripes)
+				post := rs.c.Posting(a, rs.x[a])
+				if cnt := d.AndCardRange(post, lo, hi); cnt != 0 {
+					atomic.AddInt64(&rs.counts[a], int64(cnt))
+				}
+				if u%stripes == 0 {
+					rs.freqs[a] = post.Count()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	solverParallelRounds.Inc()
+	solverStripeSeconds.ObserveSince(start)
+
+	// Deterministic argmin: ascending feature order, replace only on strictly
+	// fewer violations or an equal-violation/strictly-more-frequent tie —
+	// exactly the comparison the sequential round applies as it scans.
+	bestAttr, bestCard, bestFreq = -1, -1, -1
+	for _, a := range rs.cands {
+		card := int(rs.counts[a])
+		if bestCard < 0 || card < bestCard {
+			bestAttr, bestCard, bestFreq = a, card, rs.freqs[a]
+		} else if card == bestCard && rs.freqs[a] > bestFreq {
+			bestAttr, bestFreq = a, rs.freqs[a]
+		}
+	}
+	return bestAttr, bestCard, bestFreq
+}
+
+// DisagreeingIntoPar is DisagreeingInto with the masked complement computed
+// as striped partial operations across par workers. Stripe workers write
+// disjoint word ranges of dst, so the shared destination needs no locking;
+// the result is bit-identical to DisagreeingInto.
+func (c *Context) DisagreeingIntoPar(dst *bitset.Set, y feature.Label, par int) *bitset.Set {
+	workers := solverWorkers(par, c.Len())
+	if workers <= 1 {
+		return c.DisagreeingInto(dst, y)
+	}
+	dst.CopyFrom(c.live)
+	if y < 0 || int(y) >= len(c.byLabel) {
+		return dst
+	}
+	label := c.byLabel[y]
+	runStripes(workers, dst.NumWords(), func(lo, hi int) {
+		dst.AndNotRange(label, lo, hi)
+	})
+	return dst
+}
+
+// runStripes partitions [0, words) into `workers` word-aligned stripes and
+// runs fn on each from its own goroutine, joining before returning.
+func runStripes(workers, words int, fn func(lo, hi int)) {
+	var wg sync.WaitGroup
+	for s := 0; s < workers; s++ {
+		lo, hi := stripeBounds(words, workers, s)
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
+// ViolationsPar is Violations as a parallel partial reduction: each stripe
+// worker narrows its word range of a shared pooled scratch through the
+// posting lists of E and popcounts it; the stripe sums are exact integers, so
+// the total equals the sequential count on every input. par ≤ 1 or a small
+// context takes the sequential path unchanged.
+func ViolationsPar(c *Context, x feature.Instance, y feature.Label, E Key, par int) int {
+	workers := solverWorkers(par, c.Len())
+	if workers <= 1 {
+		return Violations(c, x, y, E)
+	}
+	d := getScratch()
+	defer putScratch(d)
+	d.CopyFrom(c.live)
+	label := (*bitset.Set)(nil)
+	if y >= 0 && int(y) < len(c.byLabel) {
+		label = c.byLabel[y]
+	}
+	return stripedMaskCount(c, x, E, d, label, workers)
+}
+
+// CoveragePar is Coverage as the same striped reduction over the label's
+// posting list instead of the disagreeing complement.
+func CoveragePar(c *Context, x feature.Instance, y feature.Label, E Key, par int) int {
+	workers := solverWorkers(par, c.Len())
+	if workers <= 1 {
+		return Coverage(c, x, y, E)
+	}
+	if c.Len() == 0 {
+		return 0
+	}
+	d := getScratch()
+	defer putScratch(d)
+	d.CopyFrom(c.LabelSet(y))
+	return stripedMaskCount(c, x, E, d, nil, workers)
+}
+
+// PrecisionPar is Precision computed with ViolationsPar.
+func PrecisionPar(c *Context, x feature.Instance, y feature.Label, E Key, par int) float64 {
+	n := c.Len()
+	if n == 0 {
+		return 1
+	}
+	return 1 - float64(ViolationsPar(c, x, y, E, par))/float64(n)
+}
+
+// stripedMaskCount intersects d (already loaded with the base mask) with
+// `not` complemented (when non-nil) and every posting list of E, striped
+// across workers over disjoint word ranges of the shared scratch, and returns
+// the total popcount. Workers are joined before the count is summed, so d is
+// quiescent when the caller returns it to the pool.
+func stripedMaskCount(c *Context, x feature.Instance, E Key, d, not *bitset.Set, workers int) int {
+	words := d.NumWords()
+	partial := make([]int, workers)
+	var wg sync.WaitGroup
+	for s := 0; s < workers; s++ {
+		lo, hi := stripeBounds(words, workers, s)
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			if not != nil {
+				d.AndNotRange(not, lo, hi)
+			}
+			for _, f := range E {
+				d.AndRange(c.Posting(f, x[f]), lo, hi)
+			}
+			partial[s] = d.CountRange(lo, hi)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}

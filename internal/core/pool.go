@@ -15,6 +15,12 @@ import (
 // state allocates nothing regardless of context size.
 var scratchSets = sync.Pool{New: func() any { return new(bitset.Set) }}
 
+// getScratch returns a pooled bitset with unspecified contents; callers load
+// it (CopyFrom) before reading and release it with putScratch.
+func getScratch() *bitset.Set {
+	return scratchSets.Get().(*bitset.Set)
+}
+
 // getDisagreeing returns a pooled bitset loaded with c.Disagreeing(y).
 func getDisagreeing(c *Context, y feature.Label) *bitset.Set {
 	d := scratchSets.Get().(*bitset.Set)

@@ -54,7 +54,14 @@ type Config struct {
 	Retain    int // max live context rows; 0 = grow forever
 
 	Monitor DriftObserver // overrides PanelSize construction when non-nil
-	Solve   SolveFunc     // nil = core.SRKAnytime
+	Solve   SolveFunc     // nil = core.SRKAnytimePar at Parallelism workers
+
+	// Parallelism bounds the intra-solve worker count of each explain
+	// (DESIGN.md §11): above 1, greedy rounds are scored across that many
+	// goroutines once the context reaches core.MinParallelRows rows, with
+	// byte-identical keys. 0 or 1 keeps solves sequential. Ignored when
+	// Solve is set.
+	Parallelism int
 
 	DefaultDeadline time.Duration // per-explain solve budget; 0 = none
 	MinDeadline     time.Duration // floor: shorter requests shed with 503
@@ -81,6 +88,7 @@ type Server struct {
 	schema          *feature.Schema
 	alpha           float64
 	retain          int // max live context rows; 0 = grow forever
+	parallelism     int // intra-solve workers per explain; ≤1 = sequential
 	solve           SolveFunc
 	defaultDeadline time.Duration
 	minDeadline     time.Duration
@@ -154,6 +162,7 @@ func NewServer(cfg Config) (*Server, error) {
 		schema:          cfg.Schema,
 		alpha:           cfg.Alpha,
 		retain:          cfg.Retain,
+		parallelism:     cfg.Parallelism,
 		solve:           cfg.Solve,
 		defaultDeadline: cfg.DefaultDeadline,
 		minDeadline:     cfg.MinDeadline,
@@ -165,7 +174,10 @@ func NewServer(cfg Config) (*Server, error) {
 		start:           time.Now(),
 	}
 	if s.solve == nil {
-		s.solve = core.SRKAnytime
+		par := s.parallelism
+		s.solve = func(ctx context.Context, c *core.Context, x feature.Instance, y feature.Label, alpha float64) (core.Key, bool, error) {
+			return core.SRKAnytimePar(ctx, c, x, y, alpha, par)
+		}
 	}
 	if s.snapshotEvery <= 0 {
 		s.snapshotEvery = defaultSnapshotEvery
@@ -537,6 +549,7 @@ type StatsResponse struct {
 	ContextSize      int     `json:"context_size"`
 	Alpha            float64 `json:"alpha"`
 	Retention        int     `json:"retention,omitempty"`
+	SolverParallel   int     `json:"solver_parallelism,omitempty"`
 	AvgSuccinctness  float64 `json:"monitor_avg_succinctness,omitempty"`
 	MonitorArrivals  int     `json:"monitor_arrivals,omitempty"`
 	MonitoringActive bool    `json:"monitoring_active"`
@@ -718,8 +731,8 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := ExplainResponse{
 		Rule:      key.RenderRule(s.schema, li.X, li.Y),
-		Precision: core.Precision(s.ctx, li.X, li.Y, key),
-		Coverage:  core.Coverage(s.ctx, li.X, li.Y, key),
+		Precision: core.PrecisionPar(s.ctx, li.X, li.Y, key, s.parallelism),
+		Coverage:  core.CoveragePar(s.ctx, li.X, li.Y, key, s.parallelism),
 		Context:   s.ctx.Len(),
 		Degraded:  degraded,
 	}
@@ -740,6 +753,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ContextSize:      s.ctx.Len(),
 		Alpha:            s.alpha,
 		Retention:        s.retain,
+		SolverParallel:   s.parallelism,
 		DegradedTotal:    s.degradedTotal.Load(),
 		ShedTotal:        s.shedTotal.Load(),
 		PanicsRecovered:  s.panicsRecovered.Load(),
