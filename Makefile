@@ -5,7 +5,7 @@ GO ?= go
 # One ~10s native-fuzz burst per target; see fuzz-smoke.
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet lint race bench bench-json tier1 fuzz-smoke chaos-smoke obs-smoke ci
+.PHONY: all build test vet lint race bench bench-json bench-json-smoke tier1 fuzz-smoke chaos-smoke obs-smoke ci
 
 all: ci
 
@@ -39,10 +39,17 @@ bench:
 	$(GO) test -run=NONE -bench 'SRKParallel' -benchmem ./internal/benchsuite/
 
 # Machine-readable perf baseline: every internal/benchsuite hot-path case
-# (SRK solve, OSRK observe, window advance, WAL append, obs instruments) run
-# under testing.Benchmark, written to BENCH_<date>.json.
+# (SRK solve eager and lazy, OSRK observe, window advance, WAL append, obs
+# instruments, the parallel grid) run under testing.Benchmark, written to
+# BENCH_<date>.json. Diff two baselines with `benchall -compare OLD NEW`.
 bench-json:
 	$(GO) run ./cmd/benchall -json BENCH_$$(date +%Y-%m-%d).json
+
+# One-iteration pass over the whole bench-json pipeline: proves every case
+# still builds its dataset and solves, without spending benchmark time. The
+# output lands in /tmp and is never a baseline (the document is marked smoke).
+bench-json-smoke:
+	$(GO) run ./cmd/benchall -json $${TMPDIR:-/tmp}/bench-smoke.json -smoke
 
 # End-to-end observability smoke: build cceserver, boot it with tracing and a
 # separate ops listener, drive observe/explain traffic through the retrying
@@ -60,6 +67,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzBucketer        -fuzztime=$(FUZZTIME) ./internal/feature/
 	$(GO) test -run=NONE -fuzz=FuzzBucketByCuts    -fuzztime=$(FUZZTIME) ./internal/feature/
 	$(GO) test -run=NONE -fuzz=FuzzContextRemoveAdd -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -run=NONE -fuzz=FuzzLazyGreedy      -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -run=NONE -fuzz=FuzzSolver          -fuzztime=$(FUZZTIME) ./internal/sat/
 
 # The fault-injection suite under the race detector: deadline degradation,

@@ -12,16 +12,25 @@
 //
 // -json switches to the micro-benchmark suite (internal/benchsuite): each
 // hot-path case runs under testing.Benchmark and the results — name, ns/op,
-// allocs/op, bytes/op — are written as a JSON document to the given file, the
-// machine-readable perf baseline `make bench-json` records per date.
+// allocs/op, bytes/op, plus the host's gomaxprocs/num_cpu and per-row
+// oversubscription tags — are written as a JSON document to the given file,
+// the machine-readable perf baseline `make bench-json` records per date
+// (schema: internal/benchsuite/benchjson.go). Adding -smoke runs each case
+// for a single iteration: a fast CI check that the whole pipeline still
+// builds its datasets and solves, with timings marked as meaningless in the
+// output document.
+//
+//	benchall -compare OLD.json NEW.json
+//
+// -compare diffs two baseline files case by case and prints the warnings
+// that qualify the diff — differing CPU counts or GOMAXPROCS between the
+// recording hosts, smoke documents, oversubscribed rows.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -45,13 +54,29 @@ func main() {
 		instances = flag.Int("instances", 0, "explained instances per dataset (default 100; 12 with -quick)")
 		seed      = flag.Int64("seed", 0, "harness seed (default fixed)")
 		jsonOut   = flag.String("json", "", "run the micro-benchmark suite and write JSON results to this file instead of the experiments")
+		smoke     = flag.Bool("smoke", false, "with -json: run each case once to verify the pipeline; timings are marked meaningless")
+		compare   = flag.Bool("compare", false, "diff two baseline JSON files given as positional args")
 		ids       idList
 	)
 	flag.Var(&ids, "id", "experiment id to run (repeatable); default: all")
+	// Register the testing flags before parsing so -smoke can shorten
+	// benchtime below (testing.Benchmark reads them, flag-registered or not).
+	testing.Init()
 	flag.Parse()
 
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchall -compare OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut != "" {
-		if err := runBenchJSON(*jsonOut); err != nil {
+		if err := runBenchJSON(*jsonOut, *smoke); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -84,51 +109,44 @@ func main() {
 	}
 }
 
-// benchRecord is one suite result in the JSON baseline.
-type benchRecord struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-}
-
-// runBenchJSON runs every benchsuite case under testing.Benchmark and writes
-// the results to path, echoing a human-readable line per case to stderr so
-// interactive runs show progress.
-func runBenchJSON(path string) error {
-	doc := struct {
-		Date    string        `json:"date"`
-		GoOS    string        `json:"goos"`
-		Procs   int           `json:"gomaxprocs"`
-		Results []benchRecord `json:"results"`
-	}{Date: time.Now().Format("2006-01-02"), GoOS: runtime.GOOS + "/" + runtime.GOARCH, Procs: runtime.GOMAXPROCS(0)}
-	for _, c := range benchsuite.Cases() {
-		r := testing.Benchmark(c.Fn)
-		rec := benchRecord{
-			Name:        c.Name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
+// runBenchJSON runs the benchsuite (schema and runner live in
+// internal/benchsuite/benchjson.go) and writes the baseline to path. Smoke
+// mode drops benchtime to one iteration per case: enough to prove every case
+// still builds its dataset and solves, cheap enough for CI.
+func runBenchJSON(path string, smoke bool) error {
+	if smoke {
+		if err := flag.Set("test.benchtime", "1x"); err != nil {
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "%-28s %12.1f ns/op %8d B/op %6d allocs/op\n",
-			rec.Name, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
-		doc.Results = append(doc.Results, rec)
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(&doc); err != nil {
-		f.Close() //rkvet:ignore dropperr encode already failed; surface that error
-		return err
-	}
-	if err := f.Close(); err != nil {
+	doc := benchsuite.RunSuite(os.Stderr, smoke)
+	if err := doc.WriteFile(path); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %d benchmark results to %s\n", len(doc.Results), path)
+	return nil
+}
+
+// runCompare diffs two baseline files and prints the qualifying warnings
+// first, so a cross-host comparison can't masquerade as a regression report.
+func runCompare(oldPath, newPath string) error {
+	oldDoc, err := benchsuite.ReadDoc(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := benchsuite.ReadDoc(newPath)
+	if err != nil {
+		return err
+	}
+	table, warnings := benchsuite.Compare(oldDoc, newDoc)
+	for _, w := range warnings {
+		fmt.Printf("WARNING: %s\n", w)
+	}
+	if len(warnings) > 0 {
+		fmt.Println()
+	}
+	for _, line := range table {
+		fmt.Println(line)
+	}
 	return nil
 }

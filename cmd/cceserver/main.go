@@ -6,7 +6,7 @@
 // Usage:
 //
 //	cceserver [-addr :8080] [-dataset loan] [-alpha 1.0] [-panel 10] [-retain 0] [-warm]
-//	          [-solver-parallelism NumCPU]
+//	          [-solver lazy] [-solver-parallelism NumCPU]
 //	          [-deadline 0] [-min-deadline 0] [-max-inflight 0]
 //	          [-state DIR] [-snapshot-every 256] [-wal-sync-every 1]
 //	          [-metrics-addr ""] [-trace-sample 0] [-pprof] [-log-level info]
@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/xai-db/relativekeys/internal/core"
 	"github.com/xai-db/relativekeys/internal/dataset"
 	"github.com/xai-db/relativekeys/internal/feature"
 	"github.com/xai-db/relativekeys/internal/model"
@@ -51,6 +52,7 @@ func main() {
 		retain = flag.Int("retain", 0, "keep only the most recent N observations in the context (0 = unbounded)")
 		warm   = flag.Bool("warm", false, "pre-populate the context with a trained model's inference log")
 
+		solver    = flag.String("solver", "lazy", "explain solver: lazy (CELF lazy greedy, the default) or eager (the reference full-scan loop; byte-identical keys, for A/B and escape hatch)")
 		solverPar = flag.Int("solver-parallelism", runtime.NumCPU(), "workers per explain solve; contexts under the row threshold solve sequentially regardless (1 = always sequential)")
 
 		deadline    = flag.Duration("deadline", 0, "default per-explain solve deadline; past it the answer degrades to a larger-but-valid key (0 = none)")
@@ -93,12 +95,25 @@ func main() {
 		fatal("load dataset", err)
 	}
 
+	// -solver=eager pins the sequential reference engine through the Solve
+	// seam; the default (lazy) leaves it nil so the service uses the lazy
+	// engine at -solver-parallelism workers.
+	var solveFn service.SolveFunc
+	switch *solver {
+	case "lazy":
+	case "eager":
+		solveFn = core.SRKAnytime
+	default:
+		fatal("parse flags", errors.New("-solver must be lazy or eager"))
+	}
+
 	tracer := obs.NewTracer(*traceSample, *traceKeep)
 	srv, err := service.NewServer(service.Config{
 		Schema:          ds.Schema,
 		Alpha:           *alpha,
 		PanelSize:       *panel,
 		Retain:          *retain,
+		Solve:           solveFn,
 		Parallelism:     *solverPar,
 		DefaultDeadline: *deadline,
 		MinDeadline:     *minDeadline,

@@ -1,0 +1,173 @@
+package benchsuite
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Machine-readable perf baselines (BENCH_<date>.json). The schema lives here,
+// next to the cases that produce it, so `benchall -json`, `benchall -compare`,
+// and any future tooling agree on one definition.
+//
+// Baselines are only comparable between like machines: a p=8 row measured on
+// a single-core runner is pure scheduling overhead, not parallel speedup.
+// Two fields make that legible after the fact: the document records num_cpu,
+// and every row whose case runs more intra-solve workers than the host had
+// schedulable procs is tagged oversubscribed. Compare refuses to stay silent
+// when the hosts differ.
+
+// Record is one suite result in the JSON baseline.
+type Record struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Oversubscribed marks a case that requested more intra-solve workers
+	// than GOMAXPROCS on the recording host: its ns/op measures contention,
+	// not speedup, and comparisons against a wider host are meaningless.
+	Oversubscribed bool `json:"oversubscribed,omitempty"`
+}
+
+// Doc is one benchmark baseline document.
+type Doc struct {
+	Date    string   `json:"date"`
+	GoOS    string   `json:"goos"`
+	Procs   int      `json:"gomaxprocs"`
+	NumCPU  int      `json:"num_cpu"`
+	Smoke   bool     `json:"smoke,omitempty"`
+	Results []Record `json:"results"`
+}
+
+// CaseParallelism extracts the intra-solve worker count from a case name
+// carrying a "/p=N" segment (e.g. "core/srk_par/n=100000/p=8"); cases
+// without one are sequential and report 1.
+func CaseParallelism(name string) int {
+	for _, seg := range strings.Split(name, "/") {
+		if rest, ok := strings.CutPrefix(seg, "p="); ok {
+			if p, err := strconv.Atoi(rest); err == nil && p > 0 {
+				return p
+			}
+		}
+	}
+	return 1
+}
+
+// RunSuite runs every case under testing.Benchmark and returns the baseline
+// document for this host, echoing one human-readable line per case to
+// progress (pass io.Discard to silence). Smoke marks a single-iteration
+// pipeline check whose timings are meaningless; callers arrange the short
+// benchtime themselves (see benchall -smoke) — RunSuite only records the flag
+// so a smoke file can never be mistaken for a baseline.
+func RunSuite(progress io.Writer, smoke bool) Doc {
+	doc := Doc{
+		Date:   time.Now().Format("2006-01-02"),
+		GoOS:   runtime.GOOS + "/" + runtime.GOARCH,
+		Procs:  runtime.GOMAXPROCS(0),
+		NumCPU: runtime.NumCPU(),
+		Smoke:  smoke,
+	}
+	for _, c := range Cases() {
+		r := testing.Benchmark(c.Fn)
+		rec := Record{
+			Name:           c.Name,
+			Iterations:     r.N,
+			NsPerOp:        float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp:    r.AllocsPerOp(),
+			BytesPerOp:     r.AllocedBytesPerOp(),
+			Oversubscribed: CaseParallelism(c.Name) > doc.Procs,
+		}
+		fmt.Fprintf(progress, "%-28s %12.1f ns/op %8d B/op %6d allocs/op%s\n",
+			rec.Name, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp,
+			map[bool]string{true: "  (oversubscribed)"}[rec.Oversubscribed])
+		doc.Results = append(doc.Results, rec)
+	}
+	return doc
+}
+
+// WriteFile writes the document as indented JSON to path.
+func (d Doc) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&d); err != nil {
+		f.Close() //rkvet:ignore dropperr encode already failed; surface that error
+		return err
+	}
+	return f.Close()
+}
+
+// ReadDoc loads a baseline document. Documents written before num_cpu was
+// recorded load with NumCPU == 0, which Compare reports as an unknown host.
+func ReadDoc(path string) (Doc, error) {
+	var d Doc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(data, &d); err != nil {
+		return d, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// Compare renders a per-case delta table between two baselines and the
+// warnings that qualify it: differing or unknown CPU counts, differing
+// GOMAXPROCS, smoke documents, and oversubscribed rows. The ratio column is
+// new/old ns/op — below 1.0 is a speedup.
+func Compare(old, new Doc) (table []string, warnings []string) {
+	if old.Smoke || new.Smoke {
+		warnings = append(warnings, "comparing smoke-mode results: timings are single-iteration noise")
+	}
+	switch {
+	case old.NumCPU == 0 || new.NumCPU == 0:
+		warnings = append(warnings, "CPU count unknown on one side (file predates num_cpu): timings may not be comparable")
+	case old.NumCPU != new.NumCPU:
+		warnings = append(warnings, fmt.Sprintf("CPU counts differ (%d vs %d): parallel timings are not comparable", old.NumCPU, new.NumCPU))
+	}
+	if old.Procs != new.Procs {
+		warnings = append(warnings, fmt.Sprintf("GOMAXPROCS differs (%d vs %d): parallel timings are not comparable", old.Procs, new.Procs))
+	}
+	prev := make(map[string]Record, len(old.Results))
+	for _, r := range old.Results {
+		prev[r.Name] = r
+	}
+	seen := make(map[string]bool, len(new.Results))
+	oversub := 0
+	for _, r := range new.Results {
+		seen[r.Name] = true
+		if r.Oversubscribed {
+			oversub++
+		}
+		o, ok := prev[r.Name]
+		if !ok {
+			table = append(table, fmt.Sprintf("%-28s %12.1f ns/op %6d allocs/op  (new case)", r.Name, r.NsPerOp, r.AllocsPerOp))
+			continue
+		}
+		ratio := 0.0
+		if o.NsPerOp > 0 {
+			ratio = r.NsPerOp / o.NsPerOp
+		}
+		table = append(table, fmt.Sprintf("%-28s %12.1f -> %12.1f ns/op  x%.2f  allocs %d -> %d",
+			r.Name, o.NsPerOp, r.NsPerOp, ratio, o.AllocsPerOp, r.AllocsPerOp))
+	}
+	for _, r := range old.Results {
+		if !seen[r.Name] {
+			table = append(table, fmt.Sprintf("%-28s (case removed)", r.Name))
+		}
+	}
+	if oversub > 0 {
+		warnings = append(warnings, fmt.Sprintf("%d rows ran oversubscribed (p > GOMAXPROCS): they measure contention, not speedup", oversub))
+	}
+	return table, warnings
+}

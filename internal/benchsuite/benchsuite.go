@@ -41,6 +41,7 @@ func Cases() []Case {
 		{Name: "obs/histogram_observe", Fn: benchHistogramObserve},
 		{Name: "obs/span_unsampled", Fn: benchSpanUnsampled},
 	}
+	cases = append(cases, lazyCases()...)
 	return append(cases, parallelCases()...)
 }
 

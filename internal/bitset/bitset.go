@@ -123,6 +123,27 @@ func (s *Set) AndCard(t *Set) int {
 	return c
 }
 
+// AndCardUpTo returns |s ∩ t| when that cardinality is at most limit;
+// otherwise it stops counting as soon as the running count exceeds limit and
+// returns the partial count, which is then strictly greater than limit and a
+// lower bound on the true cardinality. It is the early-exit bound kernel of
+// the lazy-greedy SRK solver: a candidate whose intersection already exceeds
+// the card budget implied by the runner-up bound cannot win the round, and
+// |s| − partial is still a valid upper bound on its violators-removed score,
+// so the truncated scan refines the CELF heap instead of wasting a full pass.
+// A negative limit behaves like limit 0. Callers distinguish "exact" from
+// "truncated" by comparing the result against limit.
+func (s *Set) AndCardUpTo(t *Set, limit int) int {
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & t.words[i])
+		if c > limit {
+			return c
+		}
+	}
+	return c
+}
+
 // AndNotCard returns |s \ t| without modifying either set.
 func (s *Set) AndNotCard(t *Set) int {
 	c := 0

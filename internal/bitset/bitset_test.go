@@ -315,3 +315,41 @@ func TestRangeClamping(t *testing.T) {
 		t.Fatal("inverted AndRange mutated the set")
 	}
 }
+
+// TestAndCardUpTo: exact when the true cardinality fits the limit, a strict
+// lower bound past the limit when it does not, with early exit observable as
+// never over-counting beyond the first word that crosses the limit.
+func TestAndCardUpTo(t *testing.T) {
+	a, b := New(300), New(300)
+	for i := 0; i < 300; i += 2 {
+		a.Add(i)
+	}
+	for i := 0; i < 300; i += 3 {
+		b.Add(i)
+	}
+	want := a.AndCard(b) // multiples of 6 below 300: 50
+	if got := a.AndCardUpTo(b, want); got != want {
+		t.Fatalf("limit == card: got %d, want exact %d", got, want)
+	}
+	if got := a.AndCardUpTo(b, want+17); got != want {
+		t.Fatalf("limit > card: got %d, want exact %d", got, want)
+	}
+	for _, limit := range []int{-3, 0, 1, want / 2, want - 1} {
+		got := a.AndCardUpTo(b, limit)
+		if got <= limit && limit >= 0 {
+			t.Fatalf("limit %d: got %d, want a count past the limit", limit, got)
+		}
+		if got > want {
+			t.Fatalf("limit %d: got %d exceeds the true cardinality %d", limit, got, want)
+		}
+	}
+	// Truncation point: a word holds at most 64 intersecting bits, so the
+	// partial count can overshoot the limit by at most one word's worth.
+	if got := a.AndCardUpTo(b, 0); got > 64 {
+		t.Fatalf("limit 0: partial count %d overshot by more than one word", got)
+	}
+	empty := New(300)
+	if got := a.AndCardUpTo(empty, -1); got != 0 {
+		t.Fatalf("empty intersection with negative limit: got %d, want 0", got)
+	}
+}

@@ -101,6 +101,18 @@ func FuzzSetOps(f *testing.F) {
 		if got := a.AndNotCard(b); got != len(ma)-inter {
 			t.Fatalf("AndNotCard = %d, model %d", got, len(ma)-inter)
 		}
+		// AndCardUpTo: exact at or above the true cardinality, and a lower
+		// bound strictly past the limit when truncated — for limits around
+		// the true count, where the early exit either must or must not fire.
+		for _, limit := range []int{-1, 0, inter - 1, inter, inter + 1, fuzzCap} {
+			got := a.AndCardUpTo(b, limit)
+			if limit >= inter && got != inter {
+				t.Fatalf("AndCardUpTo(limit=%d) = %d, want exact %d", limit, got, inter)
+			}
+			if limit < inter && (got <= limit || got > inter) {
+				t.Fatalf("AndCardUpTo(limit=%d) = %d, want lower bound in (%d, %d]", limit, got, limit, inter)
+			}
+		}
 	})
 }
 

@@ -22,13 +22,16 @@ import (
 )
 
 // Batch is CCE's batch mode: the complete inference context is available.
+// Explains solve on the lazy-greedy engine (DESIGN.md §12), byte-identical
+// to the eager reference but evaluating only the candidates whose stale
+// bounds could still win each round.
 //
 // Parallelism bounds the intra-solve worker count of each explain (DESIGN.md
-// §11): values above 1 score greedy rounds across that many goroutines once
-// the context reaches core.MinParallelRows, with byte-identical results.
-// 0 or 1 keeps solves sequential. This is a second axis on top of
-// ExplainAll's request-level fan-out — size the product of the two to the
-// machine, not each factor alone.
+// §11): values above 1 stripe the engine's full candidate scans across that
+// many workers once the context reaches core.MinParallelRows, with
+// byte-identical results. 0 or 1 keeps solves sequential. This is a second
+// axis on top of ExplainAll's request-level fan-out — size the product of
+// the two to the machine, not each factor alone.
 type Batch struct {
 	Ctx         *core.Context
 	Alpha       float64

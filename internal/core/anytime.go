@@ -34,16 +34,28 @@ var ErrDeadline = errors.New("core: solver cancelled before a valid key was foun
 // feature set leaves more than the budget, no key exists and ErrNoKey is
 // returned exactly as in the undeadlined run.
 func SRKAnytime(ctx context.Context, c *Context, x feature.Instance, y feature.Label, alpha float64) (Key, bool, error) {
-	return srkAnytimeInstrumented(ctx, c, x, y, alpha, 1)
+	return srkAnytimeInstrumented(ctx, c, x, y, alpha, 1, false)
 }
 
-// srkAnytimeInstrumented is the shared entry of SRKAnytime and SRKAnytimePar:
-// the greedy loop wrapped with the stage timer, span, and degradation
-// counter.
-func srkAnytimeInstrumented(ctx context.Context, c *Context, x feature.Instance, y feature.Label, alpha float64, par int) (Key, bool, error) {
+// srkAnytimeInstrumented is the shared entry of the whole SRK family —
+// SRK/SRKAnytime (eager) and SRKLazy/SRKPar/SRKAnytimeLazyPar (lazy) — the
+// greedy engine wrapped with the stage timer, span, and degradation counter.
+// Both engines return picks in pick order; the key contract (ascending
+// feature index) is restored here with one sort, so the engines stay shareable
+// with SRKOrdered, which needs the pick order itself.
+func srkAnytimeInstrumented(ctx context.Context, c *Context, x feature.Instance, y feature.Label, alpha float64, par int, lazy bool) (Key, bool, error) {
 	start := time.Now()
 	sp := obs.StartSpan(ctx, "srk.greedy")
-	key, degraded, err := srkAnytime(ctx, c, x, y, alpha, par)
+	var (
+		picks    []int
+		degraded bool
+		err      error
+	)
+	if lazy {
+		picks, degraded, err = srkAnytimeLazy(ctx, c, x, y, alpha, par)
+	} else {
+		picks, degraded, err = srkAnytime(ctx, c, x, y, alpha)
+	}
 	sp.End()
 	srkGreedySeconds.ObserveSince(start)
 	if degraded {
@@ -52,13 +64,26 @@ func srkAnytimeInstrumented(ctx context.Context, c *Context, x feature.Instance,
 	if err == ErrNoKey {
 		solverNoKey.Inc()
 	}
-	return key, degraded, err
+	if err != nil {
+		return nil, degraded, err
+	}
+	// A successful empty key stays a non-nil Key{}: callers (and the service
+	// JSON layer) distinguish "the empty key satisfies α" from "no key".
+	key := Key(picks)
+	if key == nil {
+		key = Key{}
+	}
+	sortKey(key)
+	return key, degraded, nil
 }
 
-// srkAnytime is the uninstrumented greedy loop. par > 1 scores each round's
-// candidates concurrently (see roundScorer in parallel.go); the pick, and
-// therefore the key, is byte-identical to the sequential scan.
-func srkAnytime(ctx context.Context, c *Context, x feature.Instance, y feature.Label, alpha float64, par int) (Key, bool, error) {
+// srkAnytime is the uninstrumented eager greedy loop: every round scans all
+// remaining candidates sequentially. It is the reference implementation the
+// lazy engine (lazy.go) and the parallel entry points are differentially
+// tested against. The returned slice holds the picked features in pick order
+// (most violator-discriminating first), not sorted; a successful empty key is
+// a nil slice.
+func srkAnytime(ctx context.Context, c *Context, x feature.Instance, y feature.Label, alpha float64) ([]int, bool, error) {
 	if err := ValidateAlpha(alpha); err != nil {
 		return nil, false, err
 	}
@@ -74,48 +99,37 @@ func srkAnytime(ctx context.Context, c *Context, x feature.Instance, y feature.L
 	// allocation would otherwise dominate at streaming rates.
 	d := getDisagreeing(c, y)
 	defer putScratch(d)
-	E := Key{}
 	if d.Count() <= budget {
-		return E, false, nil // the empty key already satisfies α
+		return nil, false, nil // the empty key already satisfies α
 	}
 
-	// The scorer exists only on the parallel path; the sequential loop below
-	// stays allocation-free.
-	var scorer *roundScorer
-	if workers := solverWorkers(par, c.Len()); workers > 1 {
-		scorer = newRoundScorer(c, x, workers)
-	}
-
+	var picks []int
 	inE := make([]bool, n)
-	for len(E) < n {
+	for len(picks) < n {
 		if ctx.Err() != nil {
 			cstart := time.Now()
 			csp := obs.StartSpan(ctx, "srk.complete")
-			key, err := completeAnytime(c, x, d, E, inE, budget)
+			picks, err := completeAnytime(c, x, d, picks, inE, budget)
 			csp.End()
 			srkCompleteSeconds.ObserveSince(cstart)
-			return key, true, err
+			return picks, true, err
 		}
 		// Pick the feature leaving the fewest violators; Algorithm 1 leaves
 		// ties unspecified, and we break them toward the feature whose value
 		// is most frequent in the context — equally conformant but far more
 		// general explanations (higher recall, §7.1 measure (c)).
 		bestAttr, bestCard, bestFreq := -1, -1, -1
-		if scorer != nil {
-			bestAttr, bestCard, bestFreq = scorer.score(d, inE)
-		} else {
-			for a := 0; a < n; a++ {
-				if inE[a] {
-					continue
-				}
-				post := c.Posting(a, x[a])
-				card := d.AndCard(post)
-				if bestCard < 0 || card < bestCard {
-					bestAttr, bestCard, bestFreq = a, card, post.Count()
-				} else if card == bestCard {
-					if freq := post.Count(); freq > bestFreq {
-						bestAttr, bestFreq = a, freq
-					}
+		for a := 0; a < n; a++ {
+			if inE[a] {
+				continue
+			}
+			post := c.Posting(a, x[a])
+			card := d.AndCard(post)
+			if bestCard < 0 || card < bestCard {
+				bestAttr, bestCard, bestFreq = a, card, c.PostingCount(a, x[a])
+			} else if card == bestCard {
+				if freq := c.PostingCount(a, x[a]); freq > bestFreq {
+					bestAttr, bestFreq = a, freq
 				}
 			}
 		}
@@ -129,16 +143,14 @@ func srkAnytime(ctx context.Context, c *Context, x feature.Instance, y feature.L
 			return nil, false, ErrNoKey
 		}
 		inE[bestAttr] = true
-		E = append(E, bestAttr)
+		picks = append(picks, bestAttr)
 		d.And(c.Posting(bestAttr, x[bestAttr]))
 		if d.Count() <= budget {
-			sortKey(E)
-			return E, false, nil
+			return picks, false, nil
 		}
 	}
 	if d.Count() <= budget {
-		sortKey(E)
-		return E, false, nil
+		return picks, false, nil
 	}
 	return nil, false, ErrNoKey
 }
@@ -148,7 +160,8 @@ func srkAnytime(ctx context.Context, c *Context, x feature.Instance, y feature.L
 // survivor set shrinks monotonically, so features skipped as non-reducing can
 // never become reducing later, and the final survivor set equals the
 // intersection over *all* features of x — making the ErrNoKey verdict exact.
-func completeAnytime(c *Context, x feature.Instance, d *bitset.Set, E Key, inE []bool, budget int) (Key, error) {
+// Like the greedy engines it returns picks in pick order, unsorted.
+func completeAnytime(c *Context, x feature.Instance, d *bitset.Set, picks []int, inE []bool, budget int) ([]int, error) {
 	n := c.Schema.NumFeatures()
 	for a := 0; a < n && d.Count() > budget; a++ {
 		if inE[a] {
@@ -159,12 +172,11 @@ func completeAnytime(c *Context, x feature.Instance, d *bitset.Set, E Key, inE [
 			continue // removes nothing now, hence nothing ever
 		}
 		inE[a] = true
-		E = append(E, a)
+		picks = append(picks, a)
 		d.And(post)
 	}
 	if d.Count() <= budget {
-		sortKey(E)
-		return E, nil
+		return picks, nil
 	}
 	return nil, ErrNoKey
 }

@@ -31,6 +31,10 @@ type Context struct {
 	items []feature.Labeled
 	// post[attr][value] holds the live rows where x[attr] == value.
 	post [][]*bitset.Set
+	// postCount[attr][value] tracks |post[attr][value]| incrementally, so the
+	// greedy tie-break (posting frequency) costs O(1) instead of a popcount
+	// pass — the lazy solver consults it once per heap entry per solve.
+	postCount [][]int
 	// byLabel[y] holds the live rows predicted y.
 	byLabel []*bitset.Set
 	// live masks the occupied slots; posting lists are always subsets of it.
@@ -70,8 +74,10 @@ func (c *Context) initIndex(capacity int) {
 	}
 	c.cap = capacity
 	c.post = make([][]*bitset.Set, c.Schema.NumFeatures())
+	c.postCount = make([][]int, c.Schema.NumFeatures())
 	for a := range c.post {
 		c.post[a] = make([]*bitset.Set, c.Schema.Attrs[a].Cardinality())
+		c.postCount[a] = make([]int, c.Schema.Attrs[a].Cardinality())
 		for v := range c.post[a] {
 			c.post[a][v] = bitset.New(capacity)
 		}
@@ -113,6 +119,7 @@ func (c *Context) AddSlot(li feature.Labeled) (int, error) {
 	}
 	for a, v := range li.X {
 		c.post[a][v].Add(i)
+		c.postCount[a][v]++
 	}
 	c.byLabel[li.Y].Add(i)
 	c.live.Add(i)
@@ -130,6 +137,7 @@ func (c *Context) Remove(slot int) error {
 	li := c.items[slot]
 	for a, v := range li.X {
 		c.post[a][v].Remove(slot)
+		c.postCount[a][v]--
 	}
 	c.byLabel[li.Y].Remove(slot)
 	c.live.Remove(slot)
@@ -185,6 +193,12 @@ func (c *Context) Live() *bitset.Set { return c.live }
 // Posting returns the posting list for attr==value; callers must not mutate
 // it. Capacity may exceed Len.
 func (c *Context) Posting(attr int, v feature.Value) *bitset.Set { return c.post[attr][v] }
+
+// PostingCount returns |Posting(attr, v)| in O(1): the count is maintained
+// incrementally by AddSlot/Remove, so the greedy tie-break and the lazy
+// solver's heap seeding never pay a popcount pass for posting frequency.
+// Equal to Posting(attr, v).Count() at all times (asserted in context_test).
+func (c *Context) PostingCount(attr int, v feature.Value) int { return c.postCount[attr][v] }
 
 // LabelSet returns the posting list of rows predicted y.
 func (c *Context) LabelSet(y feature.Label) *bitset.Set { return c.byLabel[y] }

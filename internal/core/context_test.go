@@ -119,3 +119,51 @@ func TestValidateAlpha(t *testing.T) {
 		}
 	}
 }
+
+// TestPostingCountInvariant pins the O(1) PostingCount accessor to its
+// definition: after an arbitrary interleaving of AddSlot and Remove, the
+// incrementally maintained count equals a fresh popcount of the posting list
+// for every (attribute, value) pair. The lazy solver's tie-break reads
+// PostingCount once per heap entry; a drift here silently reorders keys.
+func TestPostingCountInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(353))
+	c := randomContext(t, rng, 150, 5, 3, 2)
+	var live []int
+	for i := 0; i < c.NumSlots(); i++ {
+		live = append(live, i)
+	}
+	check := func(step int) {
+		t.Helper()
+		for a := 0; a < c.Schema.NumFeatures(); a++ {
+			for v := 0; v < c.Schema.Attrs[a].Cardinality(); v++ {
+				if got, want := c.PostingCount(a, feature.Value(v)), c.Posting(a, feature.Value(v)).Count(); got != want {
+					t.Fatalf("step %d: PostingCount(%d,%d) = %d, popcount %d", step, a, v, got, want)
+				}
+			}
+		}
+	}
+	check(-1)
+	for step := 0; step < 300; step++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(live))
+			if err := c.Remove(live[i]); err != nil {
+				t.Fatalf("Remove: %v", err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		} else {
+			x := make(feature.Instance, c.Schema.NumFeatures())
+			for j := range x {
+				x[j] = feature.Value(rng.Intn(c.Schema.Attrs[j].Cardinality()))
+			}
+			slot, err := c.AddSlot(feature.Labeled{X: x, Y: feature.Label(rng.Intn(2))})
+			if err != nil {
+				t.Fatalf("AddSlot: %v", err)
+			}
+			live = append(live, slot)
+		}
+		if step%37 == 0 {
+			check(step)
+		}
+	}
+	check(300)
+}

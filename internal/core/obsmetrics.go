@@ -34,4 +34,15 @@ var (
 		"Latency of one parallel scoring round across all stripes, including the join.", nil)
 	solverParallelSubtrees = obs.NewCounter("rk_solver_parallel_subtrees_total",
 		"First-level subtrees claimed by exact-solver workers on the parallel path.")
+
+	// Lazy-greedy solver (DESIGN.md §12): greedy rounds resolved on the lazy
+	// path, candidate re-evaluations spent confirming heap tops (the quantity
+	// CELF saves — compare against rounds × features for the eager cost), and
+	// rounds that degenerated into the eager full-rescan fallback.
+	lazyRounds = obs.NewCounter("rk_solver_lazy_rounds_total",
+		"SRK greedy rounds resolved by the lazy-greedy (CELF) engine.")
+	lazyEvals = obs.NewCounter("rk_solver_lazy_evals_total",
+		"Candidate re-evaluations performed by the lazy engine's confirm loop.")
+	lazyFallbacks = obs.NewCounter("rk_solver_lazy_fallbacks_total",
+		"Lazy rounds that exceeded the re-evaluation cap and fell back to an eager full rescan.")
 )

@@ -28,49 +28,15 @@ func SRK(c *Context, x feature.Instance, y feature.Label, alpha float64) (Key, e
 // them (most violator-discriminating first). §6 Remark (2) of the paper: the
 // pick order ranks the features of a relative key, giving a lightweight
 // importance ordering without the cost of importance-score methods.
+//
+// It is the eager engine's pick-ordered return surfaced directly — the same
+// srkAnytime loop behind SRK/SRKAnytime, not a second copy of the greedy
+// step — so the ordering can never drift from the key the other entry points
+// compute (asserted against SRK and the lazy engine in srk_test.go and
+// lazy_test.go).
 func SRKOrdered(c *Context, x feature.Instance, y feature.Label, alpha float64) ([]int, error) {
-	if err := ValidateAlpha(alpha); err != nil {
-		return nil, err
-	}
-	if err := c.Schema.Validate(x); err != nil {
-		return nil, err
-	}
-	n := c.Schema.NumFeatures()
-	budget := Budget(alpha, c.Len())
-	d := getDisagreeing(c, y)
-	defer putScratch(d)
-	var order []int
-	if d.Count() <= budget {
-		return order, nil
-	}
-	inE := make([]bool, n)
-	for len(order) < n {
-		bestAttr, bestCard, bestFreq := -1, -1, -1
-		for a := 0; a < n; a++ {
-			if inE[a] {
-				continue
-			}
-			post := c.Posting(a, x[a])
-			card := d.AndCard(post)
-			if bestCard < 0 || card < bestCard {
-				bestAttr, bestCard, bestFreq = a, card, post.Count()
-			} else if card == bestCard {
-				if freq := post.Count(); freq > bestFreq {
-					bestAttr, bestFreq = a, freq
-				}
-			}
-		}
-		if bestAttr < 0 || (bestCard == d.Count() && bestCard > budget) {
-			return nil, ErrNoKey
-		}
-		inE[bestAttr] = true
-		order = append(order, bestAttr)
-		d.And(c.Posting(bestAttr, x[bestAttr]))
-		if d.Count() <= budget {
-			return order, nil
-		}
-	}
-	return nil, ErrNoKey
+	picks, _, err := srkAnytime(context.Background(), c, x, y, alpha)
+	return picks, err
 }
 
 // SRKRandomOrder is the ablation variant of SRK that adds features of x in a

@@ -54,13 +54,18 @@ type Config struct {
 	Retain    int // max live context rows; 0 = grow forever
 
 	Monitor DriftObserver // overrides PanelSize construction when non-nil
-	Solve   SolveFunc     // nil = core.SRKAnytimePar at Parallelism workers
+	// Solve overrides the explain solver. nil = core.SRKAnytimePar at
+	// Parallelism workers — the lazy-greedy engine (DESIGN.md §12), which
+	// returns byte-identical keys to the eager reference at a fraction of
+	// the candidate evaluations. Set it to core.SRKAnytime to force the
+	// eager path (cceserver's -solver=eager does exactly that).
+	Solve SolveFunc
 
 	// Parallelism bounds the intra-solve worker count of each explain
-	// (DESIGN.md §11): above 1, greedy rounds are scored across that many
-	// goroutines once the context reaches core.MinParallelRows rows, with
-	// byte-identical keys. 0 or 1 keeps solves sequential. Ignored when
-	// Solve is set.
+	// (DESIGN.md §11): above 1, the lazy engine's full candidate scans are
+	// striped across that many workers once the context reaches
+	// core.MinParallelRows rows, with byte-identical keys. 0 or 1 keeps
+	// solves sequential. Ignored when Solve is set.
 	Parallelism int
 
 	DefaultDeadline time.Duration // per-explain solve budget; 0 = none
