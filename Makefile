@@ -5,7 +5,10 @@ GO ?= go
 # One ~10s native-fuzz burst per target; see fuzz-smoke.
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet lint race bench bench-json bench-json-smoke tier1 fuzz-smoke chaos-smoke obs-smoke ci
+.PHONY: all build test vet lint lint-fast lint-deep race bench bench-json bench-json-smoke bench-gate tier1 fuzz-smoke chaos-smoke obs-smoke ci
+
+# Committed perf baseline the bench gate compares against (see bench-gate).
+BENCH_BASELINE ?= BENCH_2026-08-07.json
 
 all: ci
 
@@ -20,11 +23,21 @@ test:
 vet:
 	$(GO) vet ./...
 
-# rkvet: the repo-specific static-analysis suite (internal/analysis) —
-# maporder, poolpair, floateq, dropperr, lockcheck, obsreg. Exits nonzero on
-# any finding that is not suppressed with a reasoned //rkvet:ignore.
+# rkvet: the repo-specific static-analysis suite (internal/analysis), ten
+# checkers in two tiers. lint-fast runs the file-local six (maporder,
+# poolpair, floateq, dropperr, lockcheck, obsreg); lint-deep runs the
+# call-graph four (ctxflow, atomicfield, gocapture, hotalloc). lint runs
+# everything in one pass, sharing a single type-check load and call graph.
+# All exit nonzero on any finding not suppressed with a reasoned
+# //rkvet:ignore.
 lint:
 	$(GO) run ./cmd/rkvet
+
+lint-fast:
+	$(GO) run ./cmd/rkvet -fast
+
+lint-deep:
+	$(GO) run ./cmd/rkvet -deep -v
 
 # Race-enabled pass over the streaming hot path and its consumers.
 race:
@@ -50,6 +63,14 @@ bench-json:
 # output lands in /tmp and is never a baseline (the document is marked smoke).
 bench-json-smoke:
 	$(GO) run ./cmd/benchall -json $${TMPDIR:-/tmp}/bench-smoke.json -smoke
+
+# CI perf gate: record a fresh full-benchtime baseline and fail on a >25%
+# ns/op regression in any srk_lazy case or any allocs/op increase vs the
+# committed baseline. Cross-host runs (different CPU count / GOMAXPROCS)
+# skip the timing gate with a warning — only the host-independent allocation
+# gate applies there.
+bench-gate:
+	$(GO) run ./cmd/benchall -gate $(BENCH_BASELINE) -json $${TMPDIR:-/tmp}/bench-gate.json
 
 # End-to-end observability smoke: build cceserver, boot it with tracing and a
 # separate ops listener, drive observe/explain traffic through the retrying

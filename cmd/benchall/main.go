@@ -25,6 +25,16 @@
 // -compare diffs two baseline files case by case and prints the warnings
 // that qualify the diff — differing CPU counts or GOMAXPROCS between the
 // recording hosts, smoke documents, oversubscribed rows.
+//
+//	benchall -gate BENCH_2026-08-07.json [-json BENCH_NEW.json]
+//
+// -gate is the CI perf gate: it runs the micro-benchmark suite fresh (full
+// benchtime — smoke timings are not gateable), writes the new baseline
+// (default BENCH_<today>.json), and fails when any srk_lazy case regressed
+// more than 25% in ns/op or any case's allocs/op increased at all. When the
+// recording hosts differ (CPU count, GOMAXPROCS) the timing gate is skipped
+// with a warning — cross-host ns/op is noise — while the host-independent
+// allocation gate still applies.
 package main
 
 import (
@@ -56,6 +66,7 @@ func main() {
 		jsonOut   = flag.String("json", "", "run the micro-benchmark suite and write JSON results to this file instead of the experiments")
 		smoke     = flag.Bool("smoke", false, "with -json: run each case once to verify the pipeline; timings are marked meaningless")
 		compare   = flag.Bool("compare", false, "diff two baseline JSON files given as positional args")
+		gate      = flag.String("gate", "", "run the suite fresh and fail on perf regressions vs this baseline file")
 		ids       idList
 	)
 	flag.Var(&ids, "id", "experiment id to run (repeatable); default: all")
@@ -71,6 +82,17 @@ func main() {
 		}
 		if err := runCompare(flag.Arg(0), flag.Arg(1)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *gate != "" {
+		ok, err := runGate(*gate, *jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !ok {
 			os.Exit(1)
 		}
 		return
@@ -125,6 +147,37 @@ func runBenchJSON(path string, smoke bool) error {
 	}
 	fmt.Printf("wrote %d benchmark results to %s\n", len(doc.Results), path)
 	return nil
+}
+
+// runGate records a fresh full-benchtime baseline, writes it to outPath
+// (default BENCH_<today>.json), and gates it against the committed baseline.
+// Returns ok=false when the gate fails.
+func runGate(baselinePath, outPath string) (bool, error) {
+	oldDoc, err := benchsuite.ReadDoc(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	newDoc := benchsuite.RunSuite(os.Stderr, false)
+	if outPath == "" {
+		outPath = "BENCH_" + newDoc.Date + ".json"
+	}
+	if err := newDoc.WriteFile(outPath); err != nil {
+		return false, err
+	}
+	fmt.Printf("wrote %d benchmark results to %s\n", len(newDoc.Results), outPath)
+	failures, warnings := benchsuite.Gate(oldDoc, newDoc)
+	for _, w := range warnings {
+		fmt.Printf("WARNING: %s\n", w)
+	}
+	for _, f := range failures {
+		fmt.Printf("GATE FAILED: %s\n", f)
+	}
+	if len(failures) > 0 {
+		fmt.Printf("bench gate: %d regression(s) vs %s\n", len(failures), baselinePath)
+		return false, nil
+	}
+	fmt.Printf("bench gate: clean vs %s\n", baselinePath)
+	return true, nil
 }
 
 // runCompare diffs two baseline files and prints the qualifying warnings

@@ -1,18 +1,27 @@
 // Command rkvet is the repo-specific static-analysis suite: it loads every
-// package of the module and enforces the determinism, pool, and lock
-// invariants relative keys depend on (see internal/analysis). It prints
-// findings as "file:line: [checker] message" and exits nonzero when any
-// survive the //rkvet:ignore suppressions, so `make lint` fails CI on a new
-// violation.
+// package of the module and enforces the determinism, pool, lock, context,
+// atomicity, and allocation invariants relative keys depend on (see
+// internal/analysis). It prints findings as "file:line: [checker] message"
+// and exits nonzero when any survive the //rkvet:ignore suppressions, so
+// `make lint` fails CI on a new violation.
+//
+// The suite has two tiers, selectable with -fast / -deep (mutually
+// exclusive; default is both):
+//
+//	fast  maporder,poolpair,floateq,dropperr,lockcheck,obsreg — file-local
+//	deep  ctxflow,atomicfield,gocapture,hotalloc — backed by the module
+//	      call graph, built once per run and shared by all four
 //
 // Usage:
 //
-//	rkvet [-dir .] [-checkers maporder,poolpair,floateq,dropperr,lockcheck,obsreg] [-list]
+//	rkvet [-dir .] [-fast|-deep] [-checkers ctxflow,hotalloc] [-v] [-list]
 //	rkvet -pkg internal/analysis/testdata/src/floateq [-pkgpath fixture/floateq]
 //
 // -pkg vets one standalone directory (stdlib imports only) instead of the
 // whole module — the mode used to demonstrate each checker firing on its
-// testdata fixture.
+// testdata fixture. -v reports per-checker wall time to stderr (the first
+// deep checker's time includes the call-graph construction it pays for the
+// rest).
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/xai-db/relativekeys/internal/analysis"
 )
@@ -29,6 +39,9 @@ func main() {
 	pkg := flag.String("pkg", "", "vet a single standalone package directory (fixture mode) instead of the module")
 	pkgpath := flag.String("pkgpath", "fixture", "import path to assign in -pkg mode (scoped checkers key off it)")
 	sel := flag.String("checkers", "", "comma-separated checker subset (default: all)")
+	fast := flag.Bool("fast", false, "run only the syntactic tier (lint-fast)")
+	deep := flag.Bool("deep", false, "run only the call-graph tier (lint-deep)")
+	verbose := flag.Bool("v", false, "report per-checker wall time to stderr")
 	list := flag.Bool("list", false, "list registered checkers and exit")
 	flag.Parse()
 
@@ -39,10 +52,11 @@ func main() {
 		return
 	}
 
-	checkers, err := selectCheckers(*sel)
+	checkers, err := selectCheckers(*sel, *fast, *deep)
 	if err != nil {
 		fatal(err)
 	}
+	loadStart := time.Now()
 	var mod *analysis.Module
 	if *pkg != "" {
 		p, err := analysis.LoadPackageDir(*pkg, *pkgpath)
@@ -56,7 +70,15 @@ func main() {
 			fatal(err)
 		}
 	}
-	findings := analysis.Run(mod, checkers)
+	loadTime := time.Since(loadStart)
+
+	findings, timings := analysis.RunTimed(mod, checkers)
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "rkvet: load+typecheck %v (%d packages, shared by all checkers)\n", loadTime.Round(time.Millisecond), len(mod.Pkgs))
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "rkvet: %-12s %v\n", t.Checker, t.Elapsed.Round(time.Microsecond))
+		}
+	}
 	for _, f := range findings {
 		fmt.Println(f)
 	}
@@ -66,11 +88,24 @@ func main() {
 	}
 }
 
-// selectCheckers resolves the -checkers flag against the registry.
-func selectCheckers(sel string) ([]analysis.Checker, error) {
+// selectCheckers resolves the tier flags and the -checkers flag against the
+// registry.
+func selectCheckers(sel string, fast, deep bool) ([]analysis.Checker, error) {
+	if fast && deep {
+		return nil, fmt.Errorf("-fast and -deep are mutually exclusive (omit both to run everything)")
+	}
 	all := analysis.AllCheckers()
+	switch {
+	case fast:
+		all = analysis.SyntacticCheckers()
+	case deep:
+		all = analysis.DeepCheckers()
+	}
 	if sel == "" {
 		return all, nil
+	}
+	if fast || deep {
+		return nil, fmt.Errorf("-checkers cannot be combined with -fast/-deep")
 	}
 	byName := map[string]analysis.Checker{}
 	for _, c := range all {

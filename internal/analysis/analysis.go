@@ -16,6 +16,20 @@
 //     are compile-time constants, each registered exactly once module-wide
 //     (the global registry panics at runtime on duplicates).
 //
+// The interprocedural suite builds a module-wide call graph (callgraph.go)
+// and reasons across function and package boundaries:
+//
+//   - ctxflow     — ctx-carrying functions must thread their ctx: no calls
+//     to a plain sibling when a ...Ctx variant exists, and no
+//     context.Background() where it can swallow a caller's deadline;
+//   - atomicfield — a location touched via sync/atomic anywhere must never
+//     be accessed plainly elsewhere, module-wide (the solverIdle credit
+//     protocol and the roundScorer counts);
+//   - gocapture   — `go` closures must not capture variables the spawner
+//     writes after the spawn, nor pooled scratch released without a join;
+//   - hotalloc    — functions marked //rkvet:noalloc (and everything they
+//     statically reach) must be free of heap-forcing constructs.
+//
 // Intentional violations are documented in place with a suppression comment
 //
 //	//rkvet:ignore <checker>[,<checker>...] <reason>
@@ -31,6 +45,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one checker hit.
@@ -62,7 +77,22 @@ func AllCheckers() []Checker {
 		DropErr{},
 		LockCheck{},
 		NewObsReg(),
+		NewCtxFlow(),
+		NewAtomicField(),
+		GoCapture{},
+		NewHotAlloc(),
 	}
+}
+
+// SyntacticCheckers returns the checkers that work file-locally, without the
+// module call graph — the lint-fast tier.
+func SyntacticCheckers() []Checker {
+	return AllCheckers()[:6]
+}
+
+// DeepCheckers returns the call-graph-backed checkers — the lint-deep tier.
+func DeepCheckers() []Checker {
+	return AllCheckers()[6:]
 }
 
 // CheckerNames lists the registered checker names.
@@ -77,16 +107,38 @@ func CheckerNames() []string {
 // Run executes the given checkers over every package of the module, drops
 // suppressed findings, and returns the rest sorted by position.
 func Run(mod *Module, checkers []Checker) []Finding {
+	findings, _ := RunTimed(mod, checkers)
+	return findings
+}
+
+// CheckerTiming records one checker's wall time across the whole module.
+type CheckerTiming struct {
+	Checker string
+	Elapsed time.Duration
+}
+
+// RunTimed is Run plus per-checker wall times (surfaced by rkvet -v). The
+// loop is checker-outer so each checker's module sweep is timed as one unit;
+// suppressions are collected once per package and shared, and the first
+// call-graph checker to run pays the graph construction (visible in its
+// time — that cost is real and belongs to the deep tier).
+func RunTimed(mod *Module, checkers []Checker) ([]Finding, []CheckerTiming) {
+	sups := make([]suppressions, len(mod.Pkgs))
+	for i, p := range mod.Pkgs {
+		sups[i] = collectSuppressions(p)
+	}
 	var out []Finding
-	for _, p := range mod.Pkgs {
-		sup := collectSuppressions(p)
-		for _, c := range checkers {
+	timings := make([]CheckerTiming, 0, len(checkers))
+	for _, c := range checkers {
+		start := time.Now()
+		for i, p := range mod.Pkgs {
 			for _, f := range c.Check(p) {
-				if sup.allows(c.Name(), f.Pos) {
+				if sups[i].allows(c.Name(), f.Pos) {
 					out = append(out, f)
 				}
 			}
 		}
+		timings = append(timings, CheckerTiming{Checker: c.Name(), Elapsed: time.Since(start)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -98,7 +150,7 @@ func Run(mod *Module, checkers []Checker) []Finding {
 		}
 		return a.Checker < b.Checker
 	})
-	return out
+	return out, timings
 }
 
 // suppressions maps file → line → set of suppressed checker names ("" means

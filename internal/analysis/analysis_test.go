@@ -21,6 +21,10 @@ var fixtureCases = []struct {
 	{DropErr{}, "fixture/dropperr"},
 	{LockCheck{}, "fixture/lockcheck"},
 	{NewObsReg(), "fixture/obsreg"},
+	{NewCtxFlow(), "fixture/ctxflow"},
+	{NewAtomicField(), "fixture/atomicfield"},
+	{GoCapture{}, "fixture/gocapture"},
+	{NewHotAlloc(), "fixture/hotalloc"},
 }
 
 // wantRe matches the expectation comments planted in fixtures:
@@ -151,12 +155,113 @@ func TestSuppressionScope(t *testing.T) {
 	}
 }
 
-// TestCheckerNames pins the registry: the suite is exactly the six checkers
-// the Makefile, CI, and docs promise.
+// TestCheckerNames pins the registry: the suite is exactly the ten checkers
+// the Makefile, CI, and docs promise — six syntactic, four interprocedural.
 func TestCheckerNames(t *testing.T) {
 	got := strings.Join(CheckerNames(), ",")
-	want := "maporder,poolpair,floateq,dropperr,lockcheck,obsreg"
+	want := "maporder,poolpair,floateq,dropperr,lockcheck,obsreg,ctxflow,atomicfield,gocapture,hotalloc"
 	if got != want {
 		t.Fatalf("CheckerNames() = %s, want %s", got, want)
+	}
+	var fast, deep []string
+	for _, c := range SyntacticCheckers() {
+		fast = append(fast, c.Name())
+	}
+	for _, c := range DeepCheckers() {
+		deep = append(deep, c.Name())
+	}
+	if got := strings.Join(fast, ","); got != "maporder,poolpair,floateq,dropperr,lockcheck,obsreg" {
+		t.Fatalf("SyntacticCheckers() = %s", got)
+	}
+	if got := strings.Join(deep, ","); got != "ctxflow,atomicfield,gocapture,hotalloc" {
+		t.Fatalf("DeepCheckers() = %s", got)
+	}
+}
+
+// TestParseIgnoreList pins the suppression grammar edge cases: multi-checker
+// lists, unknown names degrading to reason text (suppress-all), the bare
+// marker, and whitespace handling.
+func TestParseIgnoreList(t *testing.T) {
+	cases := []struct {
+		name string
+		text string // text after the "rkvet:ignore" marker
+		want []string
+	}{
+		{"single checker", " ctxflow deadline is composed by wiring", []string{"ctxflow"}},
+		{"multi-checker list", " ctxflow,atomicfield shared quiescent phase", []string{"ctxflow", "atomicfield"}},
+		{"full list no reason", " maporder,poolpair,floateq", []string{"maporder", "poolpair", "floateq"}},
+		{"unknown name is reason text", " legacy cleanup pending", []string{""}},
+		{"unknown mixed with known keeps the known", " ctxflow,notachecker reason", []string{"ctxflow"}},
+		{"bare ignore", "", []string{""}},
+		{"bare ignore with spaces", "   ", []string{""}},
+		{"reason starting with number", " 3 retries happen upstream", []string{""}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := parseIgnoreList(tc.text)
+			if strings.Join(got, "|") != strings.Join(tc.want, "|") {
+				t.Fatalf("parseIgnoreList(%q) = %v, want %v", tc.text, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSuppressionPlacement verifies both sanctioned marker placements — a
+// trailing comment on the finding's own line and a standalone comment on the
+// line above — suppress, and that a marker two lines above does not.
+func TestSuppressionPlacement(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fix
+
+func cmpSameLine(a, b float64) bool {
+	return a == b //rkvet:ignore floateq fixture: same-line marker
+}
+
+func cmpLineAbove(a, b float64) bool {
+	//rkvet:ignore floateq fixture: line-above marker
+	return a == b
+}
+
+func cmpTooFar(a, b float64) bool {
+	//rkvet:ignore floateq fixture: marker is two lines up, out of scope
+
+	return a == b
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadPackageDir(dir, "fixture/suppressionplacement")
+	if err != nil {
+		t.Fatalf("loading synthetic fixture: %v", err)
+	}
+	findings := Run(p.Mod, []Checker{FloatEq{}})
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly 1 (only cmpTooFar's marker is out of scope): %v", len(findings), findings)
+	}
+	if got := findings[0].Pos.Line; got != 15 {
+		t.Errorf("surviving finding on line %d, want 15 (the == two lines below its marker)", got)
+	}
+}
+
+// TestIgnoreScopedToNamedChecker verifies a marker naming one checker does
+// not suppress another checker's finding on the same line.
+func TestIgnoreScopedToNamedChecker(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fix
+
+func cmp(a, b float64) bool {
+	return a == b //rkvet:ignore dropperr wrong checker named, floateq must still fire
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadPackageDir(dir, "fixture/ignorescope")
+	if err != nil {
+		t.Fatalf("loading synthetic fixture: %v", err)
+	}
+	if findings := Run(p.Mod, []Checker{FloatEq{}}); len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: a dropperr-scoped marker must not silence floateq", len(findings))
 	}
 }

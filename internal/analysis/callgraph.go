@@ -1,0 +1,296 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Module-wide call graph (DESIGN.md §13). The interprocedural checkers —
+// ctxflow (context threading), hotalloc (allocation-free hot paths) — need to
+// answer "which functions can this call reach?" across package boundaries.
+// This file builds that graph once per loaded Module, from the same
+// type-checked ASTs the syntactic checkers already walk, and memoizes it so
+// every call-graph checker in a run shares one construction pass.
+//
+// Soundness posture (deliberately conservative, never silently optimistic):
+//
+//   - Static calls (package functions, qualified imports, concrete methods)
+//     become exact edges.
+//   - Interface method calls fan out to every module type whose method set
+//     satisfies the interface — an over-approximation of the dynamic
+//     dispatch, which is the safe direction for "must not reach X" checkers.
+//   - Calls through function *values* (parameters, fields, closures bound to
+//     variables) cannot be resolved without pointer analysis; the caller is
+//     marked Dynamic instead, and each checker decides what that means for
+//     its invariant (hotalloc rejects it inside noalloc code, ctxflow
+//     ignores it).
+//   - Function literals are attributed to their enclosing declaration: a
+//     closure's body is treated as part of the function that created it,
+//     which matches how both checkers reason about reachability.
+type CallGraph struct {
+	mod   *Module
+	nodes map[*types.Func]*CallNode
+}
+
+// CallNode is one module function or method in the graph.
+type CallNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Callees holds the outgoing edges in source order, module-internal
+	// targets only (stdlib callees are invisible to module invariants and
+	// are re-derived syntactically by checkers that care, e.g. hotalloc's
+	// fmt.* rule).
+	Callees []CallEdge
+	// Dynamic records that the body contains at least one call through a
+	// function value, which the graph cannot resolve.
+	Dynamic bool
+}
+
+// CallEdge is one resolved call site.
+type CallEdge struct {
+	Callee *types.Func
+	Pos    token.Pos
+	// Interface marks an edge added by interface-satisfaction fan-out
+	// rather than a direct static call.
+	Interface bool
+}
+
+// CallGraph returns the module's call graph, building it on first use. The
+// graph is shared by every checker of a run (the "one type-load, one graph"
+// contract of lint-deep); Run drives checkers sequentially, so the lazy
+// construction needs no locking.
+func (m *Module) CallGraph() *CallGraph {
+	if m.cg == nil {
+		m.cg = buildCallGraph(m)
+	}
+	return m.cg
+}
+
+// Node returns the graph node for fn, or nil for functions without a module
+// body (stdlib, interface methods).
+func (g *CallGraph) Node(fn *types.Func) *CallNode {
+	return g.nodes[fn]
+}
+
+// Nodes returns every node, sorted by position for deterministic iteration.
+func (g *CallGraph) Nodes() []*CallNode {
+	out := make([]*CallNode, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fn.Pos() < out[j].Fn.Pos() })
+	return out
+}
+
+// ReachableFrom computes the forward closure of the seed set over the call
+// graph: every module function transitively callable from a seed, seeds
+// included. Interface fan-out edges are followed (conservative).
+func (g *CallGraph) ReachableFrom(seeds []*types.Func) map[*types.Func]bool {
+	reach := map[*types.Func]bool{}
+	var stack []*types.Func
+	for _, s := range seeds {
+		if s != nil && !reach[s] {
+			reach[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		fn := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := g.nodes[fn]
+		if n == nil {
+			continue
+		}
+		for _, e := range n.Callees {
+			if !reach[e.Callee] {
+				reach[e.Callee] = true
+				stack = append(stack, e.Callee)
+			}
+		}
+	}
+	return reach
+}
+
+// buildCallGraph constructs the graph over every package of the module.
+func buildCallGraph(mod *Module) *CallGraph {
+	g := &CallGraph{mod: mod, nodes: map[*types.Func]*CallNode{}}
+	// Pass 1: one node per declared function/method, so edge resolution can
+	// distinguish module functions from stdlib ones by map membership.
+	for _, p := range mod.Pkgs {
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.nodes[fn] = &CallNode{Fn: fn, Decl: fd, Pkg: p}
+			}
+		}
+	}
+	impls := moduleMethodImplementations(mod)
+	// Pass 2: resolve call sites. Function literals attribute to the
+	// enclosing declaration.
+	for _, p := range mod.Pkgs {
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+				node := g.nodes[fn]
+				if node == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					g.addCall(node, p, call, impls)
+					return true
+				})
+			}
+		}
+	}
+	return g
+}
+
+// addCall resolves one call expression into edges on caller.
+func (g *CallGraph) addCall(caller *CallNode, p *Package, call *ast.CallExpr, impls map[string][]*types.Func) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := p.Info.Uses[fun].(type) {
+		case *types.Func:
+			g.edge(caller, obj, call.Pos(), false)
+		case *types.Builtin, *types.TypeName:
+			// make/len/append or a conversion: not a call edge.
+		case nil:
+			// Defined in this package but resolved through Defs (shadow);
+			// conversions to unnamed types also land here. Not a call edge.
+		default:
+			// A variable or parameter of function type.
+			caller.Dynamic = true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok {
+			// Method call (or method-value read; the CallExpr context means
+			// it is invoked here).
+			callee, ok := sel.Obj().(*types.Func)
+			if !ok {
+				caller.Dynamic = true // field of function type
+				return
+			}
+			if types.IsInterface(sel.Recv()) {
+				// Interface dispatch: fan out to every module implementation
+				// of this method, keyed by name + signature satisfaction.
+				for _, impl := range impls[callee.Name()] {
+					if implementsRecv(impl, sel.Recv()) {
+						g.edge(caller, impl, call.Pos(), true)
+					}
+				}
+				return
+			}
+			g.edge(caller, callee, call.Pos(), false)
+			return
+		}
+		// Qualified identifier: pkg.Func (stdlib or module).
+		if fnObj, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			g.edge(caller, fnObj, call.Pos(), false)
+			return
+		}
+		if _, isType := p.Info.Uses[fun.Sel].(*types.TypeName); isType {
+			return // conversion like feature.Label(v)
+		}
+		caller.Dynamic = true // pkg-level var of function type, or a field
+	default:
+		// Calling a literal, an index expression, a call's result:
+		// unresolvable without pointer analysis.
+		caller.Dynamic = true
+	}
+}
+
+// edge appends a call edge when the callee is a module function with a node;
+// stdlib and bodiless callees are dropped (checkers that care about stdlib
+// calls inspect the AST directly).
+func (g *CallGraph) edge(caller *CallNode, callee *types.Func, pos token.Pos, iface bool) {
+	if _, ok := g.nodes[callee]; !ok {
+		return
+	}
+	caller.Callees = append(caller.Callees, CallEdge{Callee: callee, Pos: pos, Interface: iface})
+}
+
+// moduleMethodImplementations indexes every method declared on a module type
+// by method name, for interface fan-out.
+func moduleMethodImplementations(mod *Module) map[string][]*types.Func {
+	impls := map[string][]*types.Func{}
+	for _, p := range mod.Pkgs {
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || fd.Body == nil {
+					continue
+				}
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					impls[fn.Name()] = append(impls[fn.Name()], fn)
+				}
+			}
+		}
+	}
+	return impls
+}
+
+// implementsRecv reports whether impl's receiver type satisfies the
+// interface recv (the static type at the dispatching call site).
+func implementsRecv(impl *types.Func, recv types.Type) bool {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	sig, ok := impl.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if types.Implements(rt, iface) {
+		return true
+	}
+	// Value receivers also satisfy through the pointer type's method set.
+	if _, isPtr := rt.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(rt), iface)
+	}
+	return false
+}
+
+// CtxParam returns the index of the first parameter of type context.Context
+// in fn's signature, or -1. Shared by ctxflow and its tests.
+func CtxParam(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// isContextType reports whether t is context.Context. Fixture packages may
+// declare a local stand-in named Context in a package ending in "context";
+// production code always hits the stdlib path.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Context" && named.Obj().Pkg().Path() == "context"
+}

@@ -20,6 +20,10 @@ type Module struct {
 	Path string // module path from go.mod
 	Fset *token.FileSet
 	Pkgs []*Package // every package in the module, sorted by import path
+
+	// cg memoizes the call graph so every interprocedural checker of a run
+	// shares one construction pass (built lazily by Module.CallGraph).
+	cg *CallGraph
 }
 
 // Package is one type-checked package of the module. Test files are not

@@ -1,0 +1,59 @@
+// Package atomicfield exercises the atomicfield checker: locations touched
+// through sync/atomic anywhere must never be accessed plainly elsewhere, and
+// typed atomics must never be copied or reassigned as values.
+package atomicfield
+
+import "sync/atomic"
+
+// counter mixes every flavour of shared state the checker distinguishes.
+type counter struct {
+	n     int64        // accessed via atomic.AddInt64
+	vals  []int64      // elements accessed via atomic.AddInt64
+	t     atomic.Int64 // typed atomic: methods only
+	plain int64        // never atomic; free to access plainly
+}
+
+// bump is the sanctioned access: the address goes to sync/atomic.
+func (c *counter) bump() { atomic.AddInt64(&c.n, 1) }
+
+// bad reads the same field without the atomic.
+func (c *counter) bad() int64 {
+	return c.n // want "accesses c.n plainly"
+}
+
+// addElem marks the slice's elements as atomically accessed.
+func (c *counter) addElem(i int) { atomic.AddInt64(&c.vals[i], 1) }
+
+// badElem reads an element plainly.
+func (c *counter) badElem(i int) int64 {
+	return c.vals[i] // want "accesses an element of c.vals plainly"
+}
+
+// copyTyped smuggles a plain load past the typed atomic by copying it.
+func (c *counter) copyTyped() atomic.Int64 {
+	return c.t // want "copies or reassigns c.t"
+}
+
+// goodTyped uses the typed atomic through its methods.
+func (c *counter) goodTyped() int64 {
+	c.t.Add(1)
+	return c.t.Load()
+}
+
+// goodPlain touches the never-atomic field; no protocol applies.
+func (c *counter) goodPlain() int64 { return c.plain }
+
+// quiescentReset documents a single-owner phase with a reasoned ignore.
+func (c *counter) quiescentReset() {
+	//rkvet:ignore atomicfield fixture quiescent phase: no worker goroutine exists yet, the write is published by the later dispatch
+	c.n = 0
+}
+
+// hits is a package-level location under the same protocol.
+var hits int64
+
+func bumpHits() { atomic.AddInt64(&hits, 1) }
+
+func readHits() int64 {
+	return hits // want "accesses hits plainly"
+}

@@ -1,0 +1,71 @@
+// Package ctxflow exercises the ctxflow checker: calls that sever a deadline
+// by picking the plain half of a sibling pair, and context.Background()/TODO()
+// roots manufactured where a caller's deadline could have flowed instead.
+package ctxflow
+
+import "context"
+
+// Solve is the plain variant of the Solve/SolveCtx sibling pair.
+func Solve(n int) int { return n * 2 }
+
+// SolveCtx is the ctx-aware variant; the deadline gates the work.
+func SolveCtx(ctx context.Context, n int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	default:
+	}
+	return n * 2
+}
+
+// Serve carries a deadline but calls the plain sibling, severing it.
+func Serve(ctx context.Context, n int) int {
+	return Solve(n) // want "call the ctx-aware sibling SolveCtx"
+}
+
+// Good threads the deadline through the ctx-aware sibling and a helper.
+func Good(ctx context.Context, n int) int {
+	return SolveCtx(ctx, helper(n))
+}
+
+// helper is ctx-free but sits below Good on the call graph, so a fresh root
+// here runs under Good's deadline without honoring it.
+func helper(n int) int {
+	bg := context.Background() // want "reachable from a ctx-carrying entry point"
+	_ = bg
+	return n + 1
+}
+
+// Feed hands a ctx-aware callee a fresh root directly.
+func Feed(n int) int {
+	return SolveCtx(context.Background(), n) // want "feeds a ctx-aware callee"
+}
+
+// FeedViaLocal launders the fresh root through a local first.
+func FeedViaLocal(n int) int {
+	ctx := context.TODO() // want "feeds a ctx-aware callee"
+	return SolveCtx(ctx, n)
+}
+
+// Drop has its own deadline yet manufactures a new root.
+func Drop(ctx context.Context, n int) int {
+	bg := context.Background() // want "drops the function's own ctx parameter"
+	_ = bg
+	return n
+}
+
+// Wrap is the plain half of Wrap/WrapCtx: a Background()-specialization
+// wrapper, which must carry a reasoned ignore to stay silent.
+func Wrap(n int) int {
+	bg := context.Background() // want "must document itself"
+	_ = bg
+	return n * 2
+}
+
+// WrapCtx is the ctx-aware sibling of Wrap.
+func WrapCtx(ctx context.Context, n int) int { return SolveCtx(ctx, n) }
+
+// Sanctioned is what a documented specialization wrapper looks like.
+func Sanctioned(n int) int {
+	return SolveCtx(context.Background(), n) //rkvet:ignore ctxflow sanctioned never-cancelled specialization, kept for the fixture
+}

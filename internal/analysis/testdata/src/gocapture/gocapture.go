@@ -1,0 +1,78 @@
+// Package gocapture exercises the gocapture checker: go-closure captures the
+// spawner keeps writing, and pooled scratch that escapes into a goroutine the
+// function never joins before releasing.
+package gocapture
+
+import "sync"
+
+var scratch = sync.Pool{New: func() any { return new([]int) }}
+
+// getBuf acquires pooled scratch; callers own the Put.
+func getBuf() *[]int { return scratch.Get().(*[]int) }
+
+// putBuf releases pooled scratch.
+func putBuf(b *[]int) { scratch.Put(b) }
+
+// WriteAfterSpawn mutates a captured variable after the goroutine starts.
+func WriteAfterSpawn(done chan struct{}) {
+	total := 0
+	go func() {
+		total++ // want "WriteAfterSpawn captures"
+		close(done)
+	}()
+	total = 41
+	<-done
+}
+
+// LoopCapture captures a loop-external accumulator the loop keeps writing:
+// every iteration's write races with the previous iteration's goroutine.
+func LoopCapture(n int, out chan int) {
+	acc := 0
+	for i := 0; i < n; i++ {
+		go func() {
+			out <- acc // want "LoopCapture captures"
+		}()
+		acc += i
+	}
+}
+
+// ArgsAreSafe passes the changing value as a closure argument: silent.
+func ArgsAreSafe(n int, out chan int) {
+	acc := 0
+	for i := 0; i < n; i++ {
+		go func(v int) { out <- v }(acc)
+		acc += i
+	}
+}
+
+// PoolEscape releases pooled scratch on return without joining the goroutine
+// that captured it; the pool may recycle the buffer mid-use.
+func PoolEscape(out chan int) {
+	buf := getBuf()
+	defer putBuf(buf)
+	go func() {
+		out <- len(*buf) // want "captures pooled scratch"
+	}()
+}
+
+// JoinedPoolUse joins before the deferred release: silent.
+func JoinedPoolUse(out chan int) {
+	buf := getBuf()
+	defer putBuf(buf)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out <- len(*buf)
+	}()
+	wg.Wait()
+}
+
+// SanctionedHandoff documents a deliberate ownership handoff.
+func SanctionedHandoff(out chan int) {
+	buf := getBuf()
+	defer putBuf(buf)
+	go func() {
+		out <- cap(*buf) //rkvet:ignore gocapture fixture demonstrates a documented handoff; the channel send happens before the deferred Put in this contrived flow
+	}()
+}

@@ -1,0 +1,96 @@
+// Package hotalloc exercises the hotalloc checker: functions marked
+// //rkvet:noalloc — and everything they statically reach — must contain no
+// heap-forcing constructs.
+package hotalloc
+
+import "fmt"
+
+// kernel is a clean hot path: arithmetic and ranging only.
+//
+//rkvet:noalloc
+func kernel(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+//rkvet:noalloc
+func badMake(n int) []int {
+	return make([]int, n) // want "calls make"
+}
+
+//rkvet:noalloc
+func badClosure(n int) func() int {
+	f := func() int { return n } // want "creates a closure"
+	return f
+}
+
+//rkvet:noalloc
+func badSpawn(done chan struct{}) {
+	go helperClean(done) // want "spawns a goroutine"
+}
+
+// helperClean is allocation-free, so reaching it is fine.
+func helperClean(done chan struct{}) { close(done) }
+
+// viaHelper is clean itself but reaches an allocating callee.
+//
+//rkvet:noalloc
+func viaHelper(n int) int {
+	return helperMap(n)
+}
+
+// helperMap allocates; the finding lands here, attributed to the root.
+func helperMap(n int) int {
+	m := map[int]int{n: n} // want "builds a map literal"
+	return m[n]
+}
+
+//rkvet:noalloc
+func badAppend(xs []int, v int) []int {
+	return append(xs, v) // want "appends without the reuse-backing idiom"
+}
+
+// goodAppend reuses the backing array (the rescanStale idiom): silent.
+//
+//rkvet:noalloc
+func goodAppend(xs []int, v int) []int {
+	xs = xs[:0]
+	xs = append(xs, v)
+	return xs
+}
+
+//rkvet:noalloc
+func badFmt(n int) string {
+	return fmt.Sprintf("%d", n) // want "calls fmt.Sprintf"
+}
+
+//rkvet:noalloc
+func badConcat(a, b string) string {
+	return a + b // want "concatenates strings"
+}
+
+//rkvet:noalloc
+func badDynamic(f func() int) int {
+	return f() // want "calls through a function value"
+}
+
+// consume has an interface parameter; non-pointer arguments box into it.
+func consume(v any) {}
+
+//rkvet:noalloc
+func badBox(n int) {
+	consume(n) // want "passes a non-pointer int"
+}
+
+// coldPath allocates freely: it is reachable from no noalloc root.
+func coldPath(n int) []int { return make([]int, n) }
+
+// sanctioned shows a documented exception inside a noalloc path.
+//
+//rkvet:noalloc
+func sanctioned(n int) []int {
+	return make([]int, n) //rkvet:ignore hotalloc fixture demonstrates suppression of a deliberate one-time allocation
+}

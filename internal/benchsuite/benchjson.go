@@ -171,3 +171,61 @@ func Compare(old, new Doc) (table []string, warnings []string) {
 	}
 	return table, warnings
 }
+
+// GateNsRatio is the regression threshold on the lazy-solver timing gate:
+// new ns/op above old × 1.25 fails. Wide enough to ride out scheduler noise
+// on a busy CI box, tight enough to catch an accidental O(F) → O(F·rounds)
+// slip in the hot loop.
+const GateNsRatio = 1.25
+
+// Gate applies the CI perf gate between a committed baseline and a freshly
+// recorded document:
+//
+//   - every srk_lazy case (the production solve path) fails on a >25% ns/op
+//     regression;
+//   - every case present in both documents fails on ANY allocs/op increase —
+//     the pool discipline means steady-state allocation counts are exact, so
+//     one extra alloc is a real leak into the hot path, not noise.
+//
+// Timings are only comparable between like hosts: when the CPU counts or
+// GOMAXPROCS differ (or are unknown), or either document is a smoke run, the
+// ns/op gate is skipped with a warning instead of failing spuriously — but
+// the allocation gate still applies on non-smoke pairs, because allocs/op is
+// host-independent. Smoke documents skip the allocation gate too: a single
+// iteration charges the pools' cold-start allocations to the one op.
+func Gate(old, new Doc) (failures, warnings []string) {
+	hostMatch := true
+	switch {
+	case old.Smoke || new.Smoke:
+		warnings = append(warnings, "gate skipped: smoke-mode document (single-iteration timings and cold-pool allocs are not gateable)")
+		return nil, warnings
+	case old.NumCPU == 0 || new.NumCPU == 0:
+		hostMatch = false
+		warnings = append(warnings, "ns/op gate skipped: CPU count unknown on one side")
+	case old.NumCPU != new.NumCPU:
+		hostMatch = false
+		warnings = append(warnings, fmt.Sprintf("ns/op gate skipped: CPU counts differ (%d vs %d)", old.NumCPU, new.NumCPU))
+	case old.Procs != new.Procs:
+		hostMatch = false
+		warnings = append(warnings, fmt.Sprintf("ns/op gate skipped: GOMAXPROCS differs (%d vs %d)", old.Procs, new.Procs))
+	}
+	prev := make(map[string]Record, len(old.Results))
+	for _, r := range old.Results {
+		prev[r.Name] = r
+	}
+	for _, r := range new.Results {
+		o, ok := prev[r.Name]
+		if !ok {
+			continue // new case: nothing to gate against
+		}
+		if hostMatch && strings.Contains(r.Name, "srk_lazy") && o.NsPerOp > 0 && r.NsPerOp > o.NsPerOp*GateNsRatio {
+			failures = append(failures, fmt.Sprintf("%s: %.1f -> %.1f ns/op (x%.2f exceeds the x%.2f gate)",
+				r.Name, o.NsPerOp, r.NsPerOp, r.NsPerOp/o.NsPerOp, GateNsRatio))
+		}
+		if r.AllocsPerOp > o.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op rose %d -> %d (any increase fails: steady-state allocation is pooled and exact)",
+				r.Name, o.AllocsPerOp, r.AllocsPerOp))
+		}
+	}
+	return failures, warnings
+}

@@ -1,0 +1,88 @@
+package benchsuite
+
+import (
+	"strings"
+	"testing"
+)
+
+func doc(numCPU, procs int, smoke bool, results ...Record) Doc {
+	return Doc{Date: "2026-08-07", GoOS: "linux/amd64", Procs: procs, NumCPU: numCPU, Smoke: smoke, Results: results}
+}
+
+func rec(name string, ns float64, allocs int64) Record {
+	return Record{Name: name, Iterations: 100, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func TestGateCleanPass(t *testing.T) {
+	old := doc(8, 8, false, rec("core/srk_lazy", 1000, 2), rec("core/srk", 500, 2))
+	new := doc(8, 8, false, rec("core/srk_lazy", 1100, 2), rec("core/srk", 800, 2))
+	failures, warnings := Gate(old, new)
+	if len(failures) != 0 {
+		t.Fatalf("clean pass produced failures: %v", failures)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("matched hosts produced warnings: %v", warnings)
+	}
+}
+
+func TestGateLazyNsRegression(t *testing.T) {
+	old := doc(8, 8, false, rec("core/srk_lazy/n=10000", 1000, 2), rec("core/srk", 500, 2))
+	new := doc(8, 8, false, rec("core/srk_lazy/n=10000", 1300, 2), rec("core/srk", 5000, 2))
+	failures, _ := Gate(old, new)
+	if len(failures) != 1 {
+		t.Fatalf("want exactly 1 failure (the lazy case; core/srk ns/op is not gated), got %v", failures)
+	}
+	if !strings.Contains(failures[0], "srk_lazy") || !strings.Contains(failures[0], "ns/op") {
+		t.Fatalf("failure does not name the lazy timing regression: %s", failures[0])
+	}
+}
+
+func TestGateLazyRegressionAtThreshold(t *testing.T) {
+	// Exactly 25% is within the gate; it must not fail.
+	old := doc(8, 8, false, rec("core/srk_lazy", 1000, 2))
+	new := doc(8, 8, false, rec("core/srk_lazy", 1000*GateNsRatio, 2))
+	if failures, _ := Gate(old, new); len(failures) != 0 {
+		t.Fatalf("regression at the threshold must pass, got %v", failures)
+	}
+}
+
+func TestGateAllocIncrease(t *testing.T) {
+	old := doc(8, 8, false, rec("core/srk", 500, 2), rec("obs/counter_inc", 8, 0))
+	new := doc(8, 8, false, rec("core/srk", 500, 3), rec("obs/counter_inc", 8, 0))
+	failures, _ := Gate(old, new)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op rose 2 -> 3") {
+		t.Fatalf("want the single alloc failure, got %v", failures)
+	}
+}
+
+func TestGateCPUMismatchSkipsTimingKeepsAllocs(t *testing.T) {
+	old := doc(1, 1, false, rec("core/srk_lazy", 1000, 2))
+	new := doc(8, 8, false, rec("core/srk_lazy", 9000, 3))
+	failures, warnings := Gate(old, new)
+	if len(warnings) == 0 || !strings.Contains(warnings[0], "CPU counts differ") {
+		t.Fatalf("want a CPU-mismatch warning, got %v", warnings)
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
+		t.Fatalf("alloc gate must survive the host mismatch (and the 9x ns/op must be skipped), got %v", failures)
+	}
+}
+
+func TestGateSmokeSkipsEverything(t *testing.T) {
+	old := doc(8, 8, false, rec("core/srk_lazy", 1000, 2))
+	new := doc(8, 8, true, rec("core/srk_lazy", 99999, 50))
+	failures, warnings := Gate(old, new)
+	if len(failures) != 0 {
+		t.Fatalf("smoke documents must not gate (cold-pool allocs), got %v", failures)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "smoke") {
+		t.Fatalf("want the smoke warning, got %v", warnings)
+	}
+}
+
+func TestGateNewAndRemovedCases(t *testing.T) {
+	old := doc(8, 8, false, rec("core/gone", 100, 1))
+	new := doc(8, 8, false, rec("core/srk_lazy_fresh", 100, 9))
+	if failures, _ := Gate(old, new); len(failures) != 0 {
+		t.Fatalf("unmatched cases must not gate, got %v", failures)
+	}
+}

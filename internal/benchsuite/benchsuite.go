@@ -149,7 +149,7 @@ func benchHistogramObserve(b *testing.B) {
 }
 
 func benchSpanUnsampled(b *testing.B) {
-	ctx := context.Background()
+	ctx := context.Background() //rkvet:ignore ctxflow the benchmark measures the unsampled-span fast path; the fresh root is the fixture, there is no caller deadline
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

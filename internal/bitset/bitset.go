@@ -34,6 +34,7 @@ func (s *Set) Remove(i int) {
 }
 
 // Contains reports whether bit i is set.
+//rkvet:noalloc
 func (s *Set) Contains(i int) bool {
 	if i < 0 || i >= s.n {
 		return false
@@ -42,6 +43,7 @@ func (s *Set) Contains(i int) bool {
 }
 
 // Count returns the number of set bits.
+//rkvet:noalloc
 func (s *Set) Count() int {
 	c := 0
 	for _, w := range s.words {
@@ -94,6 +96,7 @@ func (s *Set) Clear() {
 }
 
 // And replaces s with s ∩ t. The sets must have the same capacity.
+//rkvet:noalloc
 func (s *Set) And(t *Set) {
 	for i := range s.words {
 		s.words[i] &= t.words[i]
@@ -101,6 +104,7 @@ func (s *Set) And(t *Set) {
 }
 
 // AndNot replaces s with s \ t.
+//rkvet:noalloc
 func (s *Set) AndNot(t *Set) {
 	for i := range s.words {
 		s.words[i] &^= t.words[i]
@@ -108,6 +112,7 @@ func (s *Set) AndNot(t *Set) {
 }
 
 // Or replaces s with s ∪ t.
+//rkvet:noalloc
 func (s *Set) Or(t *Set) {
 	for i := range s.words {
 		s.words[i] |= t.words[i]
@@ -115,6 +120,7 @@ func (s *Set) Or(t *Set) {
 }
 
 // AndCard returns |s ∩ t| without modifying either set.
+//rkvet:noalloc
 func (s *Set) AndCard(t *Set) int {
 	c := 0
 	for i, w := range s.words {
@@ -133,6 +139,7 @@ func (s *Set) AndCard(t *Set) int {
 // so the truncated scan refines the CELF heap instead of wasting a full pass.
 // A negative limit behaves like limit 0. Callers distinguish "exact" from
 // "truncated" by comparing the result against limit.
+//rkvet:noalloc
 func (s *Set) AndCardUpTo(t *Set, limit int) int {
 	c := 0
 	for i, w := range s.words {
@@ -145,6 +152,7 @@ func (s *Set) AndCardUpTo(t *Set, limit int) int {
 }
 
 // AndNotCard returns |s \ t| without modifying either set.
+//rkvet:noalloc
 func (s *Set) AndNotCard(t *Set) int {
 	c := 0
 	for i, w := range s.words {
@@ -180,6 +188,7 @@ func (s *Set) clampRange(lo, hi int) (int, int) {
 
 // CountRange returns the number of set bits whose word index lies in
 // [lo, hi). Summing over a partition of [0, NumWords()) equals Count.
+//rkvet:noalloc
 func (s *Set) CountRange(lo, hi int) int {
 	lo, hi = s.clampRange(lo, hi)
 	c := 0
@@ -193,6 +202,7 @@ func (s *Set) CountRange(lo, hi int) int {
 // without modifying either. It is the striped partial reduction behind the
 // parallel solver: summing AndCardRange over a partition of [0, NumWords())
 // equals AndCard exactly (integer partial sums, no reassociation error).
+//rkvet:noalloc
 func (s *Set) AndCardRange(t *Set, lo, hi int) int {
 	lo, hi = s.clampRange(lo, hi)
 	c := 0
@@ -204,6 +214,7 @@ func (s *Set) AndCardRange(t *Set, lo, hi int) int {
 
 // AndNotCardRange returns |s \ t| restricted to words [lo, hi); the striped
 // counterpart of AndNotCard.
+//rkvet:noalloc
 func (s *Set) AndNotCardRange(t *Set, lo, hi int) int {
 	lo, hi = s.clampRange(lo, hi)
 	c := 0
@@ -216,6 +227,7 @@ func (s *Set) AndNotCardRange(t *Set, lo, hi int) int {
 // AndRange replaces words [lo, hi) of s with s ∩ t, leaving the rest of s
 // untouched. Disjoint word ranges touch disjoint memory, so stripe workers
 // may apply AndRange to a shared set concurrently without synchronization.
+//rkvet:noalloc
 func (s *Set) AndRange(t *Set, lo, hi int) {
 	lo, hi = s.clampRange(lo, hi)
 	for i := lo; i < hi; i++ {
@@ -225,6 +237,7 @@ func (s *Set) AndRange(t *Set, lo, hi int) {
 
 // AndNotRange replaces words [lo, hi) of s with s \ t; see AndRange for the
 // concurrent-stripes contract.
+//rkvet:noalloc
 func (s *Set) AndNotRange(t *Set, lo, hi int) {
 	lo, hi = s.clampRange(lo, hi)
 	for i := lo; i < hi; i++ {

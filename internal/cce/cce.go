@@ -69,7 +69,7 @@ func (b *Batch) ExplainCtx(ctx context.Context, x feature.Instance, y feature.La
 // SRK runs are embarrassingly parallel. Instances whose conflicts exceed the
 // α budget get a nil key rather than failing the batch; other errors abort.
 func (b *Batch) ExplainAll(items []feature.Labeled, workers int) ([]core.Key, error) {
-	keys, _, err := b.ExplainAllCtx(context.Background(), items, workers)
+	keys, _, err := b.ExplainAllCtx(context.Background(), items, workers) //rkvet:ignore ctxflow ExplainAll is the sanctioned never-cancelled specialization of the batch explainer
 	return keys, err
 }
 

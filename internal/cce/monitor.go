@@ -44,7 +44,7 @@ func NewDriftMonitor(schema *feature.Schema, alpha float64, panelSize int, seed 
 // Observe feeds one arrival to every panel monitor (enrolling it as a new
 // target first while the panel is filling).
 func (d *DriftMonitor) Observe(li feature.Labeled) error {
-	_, err := d.ObserveCtx(context.Background(), li)
+	_, err := d.ObserveCtx(context.Background(), li) //rkvet:ignore ctxflow Observe is the sanctioned never-cancelled specialization; panel enrollment must not be torn by a deadline
 	return err
 }
 

@@ -262,7 +262,7 @@ func (w *Window) Items() []feature.Labeled {
 // window lock for the SRK run: the context is the mutable shared index, and
 // FirstWins/UnionKey additionally read and write the resolution cache.
 func (w *Window) Explain(x feature.Instance, y feature.Label) (core.Key, error) {
-	key, _, err := w.ExplainCtx(context.Background(), x, y)
+	key, _, err := w.ExplainCtx(context.Background(), x, y) //rkvet:ignore ctxflow Explain is the sanctioned never-cancelled specialization; a half-cancelled explain would poison the resolution cache
 	return key, err
 }
 

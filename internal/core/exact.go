@@ -18,7 +18,7 @@ import (
 // validate SRK's ln(α|I|) bound on small inputs and to solve tiny instances
 // exactly. maxFeatures caps n to keep runaway inputs out (0 means 20).
 func ExactMinKey(c *Context, x feature.Instance, y feature.Label, alpha float64, maxFeatures int) (Key, error) {
-	return ExactMinKeyCtx(context.Background(), c, x, y, alpha, maxFeatures)
+	return ExactMinKeyCtx(context.Background(), c, x, y, alpha, maxFeatures) //rkvet:ignore ctxflow ExactMinKey is the sanctioned run-to-completion specialization used by the bound-validation tests
 }
 
 // ExactMinKeyCtx is ExactMinKey with cooperative cancellation: the search
@@ -35,7 +35,7 @@ func ExactMinKeyCtx(ctx context.Context, c *Context, x feature.Instance, y featu
 // workers; byte-identical to ExactMinKey on every input (see
 // ExactMinKeyCtxPar for the argument).
 func ExactMinKeyPar(c *Context, x feature.Instance, y feature.Label, alpha float64, maxFeatures, par int) (Key, error) {
-	return ExactMinKeyCtxPar(context.Background(), c, x, y, alpha, maxFeatures, par)
+	return ExactMinKeyCtxPar(context.Background(), c, x, y, alpha, maxFeatures, par) //rkvet:ignore ctxflow ExactMinKeyPar is the sanctioned run-to-completion specialization of the parallel exact search
 }
 
 // ExactMinKeyCtxPar is ExactMinKeyCtx with intra-search parallelism: at each

@@ -34,7 +34,7 @@ import (
 // magnitude fewer candidate evaluations on large contexts. It is the default
 // solve path of cce.Batch and the service tier.
 func SRKLazy(c *Context, x feature.Instance, y feature.Label, alpha float64) (Key, error) {
-	key, _, err := SRKAnytimeLazy(context.Background(), c, x, y, alpha)
+	key, _, err := SRKAnytimeLazy(context.Background(), c, x, y, alpha) //rkvet:ignore ctxflow SRKLazy is the sanctioned never-cancelled specialization; the background root keeps the checkpoint branch dead
 	return key, err
 }
 
@@ -52,7 +52,7 @@ func SRKAnytimeLazy(ctx context.Context, c *Context, x feature.Instance, y featu
 // sequential — they are one early-exiting AndCard and fan-out would cost more
 // than it saves.
 func SRKLazyPar(c *Context, x feature.Instance, y feature.Label, alpha float64, par int) (Key, error) {
-	key, _, err := SRKAnytimeLazyPar(context.Background(), c, x, y, alpha, par)
+	key, _, err := SRKAnytimeLazyPar(context.Background(), c, x, y, alpha, par) //rkvet:ignore ctxflow SRKLazyPar is the sanctioned never-cancelled specialization of the parallel lazy solver
 	return key, err
 }
 
@@ -166,6 +166,7 @@ func srkAnytimeLazy(ctx context.Context, c *Context, x feature.Instance, y featu
 	for _, a := range st.cands {
 		var card int
 		if scorer != nil {
+			//rkvet:ignore atomicfield quiescent read: scan() has returned, so its wg.Wait() joined every worker write before this read (happens-before via WaitGroup)
 			card = int(scorer.counts[a])
 		} else {
 			card = d.AndCard(c.Posting(a, x[a]))
@@ -270,6 +271,7 @@ func (st *lazyState) settleTop(c *Context, x feature.Instance, d *bitset.Set, dC
 // the child that outbid it — so every truncated refresh makes strict
 // progress. A refresh that completes is exact and stamps the entry with the
 // current round.
+//rkvet:noalloc
 func (st *lazyState) refreshTop(c *Context, x feature.Instance, d *bitset.Set, dCount int, round int32) {
 	e := &st.heap[0]
 	limit := dCount
@@ -305,6 +307,7 @@ func (st *lazyState) rescanStale(c *Context, x feature.Instance, d *bitset.Set, 
 		for i := range st.heap {
 			e := &st.heap[i]
 			if e.round != round {
+				//rkvet:ignore atomicfield quiescent read: the scan()'s wg.Wait() joined all workers before rescanStale resumed (happens-before via WaitGroup)
 				e.gain = dCount - int(scorer.counts[e.attr])
 				e.round = round
 			}
@@ -324,6 +327,7 @@ func (st *lazyState) rescanStale(c *Context, x feature.Instance, d *bitset.Set, 
 }
 
 // siftDown restores the max-heap invariant under lazyBetter from index i.
+//rkvet:noalloc
 func (st *lazyState) siftDown(i int) {
 	h := st.heap
 	for {
@@ -344,6 +348,7 @@ func (st *lazyState) siftDown(i int) {
 }
 
 // popTop removes the heap top.
+//rkvet:noalloc
 func (st *lazyState) popTop() {
 	h := st.heap
 	last := len(h) - 1

@@ -97,7 +97,7 @@ func (o *OSRK) Conflicts() int { return o.conflicts }
 // Observe processes the arrival of x_t with prediction y_t and returns the
 // updated key.
 func (o *OSRK) Observe(li feature.Labeled) (Key, error) {
-	key, _, err := o.ObserveCtx(context.Background(), li)
+	key, _, err := o.ObserveCtx(context.Background(), li) //rkvet:ignore ctxflow Observe is the sanctioned never-cancelled specialization; per-arrival maintenance must run to completion to keep the key valid
 	return key, err
 }
 

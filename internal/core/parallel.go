@@ -56,6 +56,7 @@ func solverWorkers(par, rows int) int {
 // word-aligned by construction) and tile [0, words) exactly; when words <
 // stripes the tail stripes are empty, which the range kernels treat as
 // zero-contribution.
+//rkvet:noalloc
 func stripeBounds(words, stripes, s int) (int, int) {
 	return s * words / stripes, (s + 1) * words / stripes
 }
@@ -66,7 +67,7 @@ func stripeBounds(words, stripes, s int) (int, int) {
 // (or a context smaller than MinParallelRows) runs the same engine without
 // the worker pool.
 func SRKPar(c *Context, x feature.Instance, y feature.Label, alpha float64, par int) (Key, error) {
-	key, _, err := SRKAnytimePar(context.Background(), c, x, y, alpha, par)
+	key, _, err := SRKAnytimePar(context.Background(), c, x, y, alpha, par) //rkvet:ignore ctxflow SRKPar is the sanctioned never-cancelled specialization of the striped solver
 	return key, err
 }
 
@@ -172,7 +173,7 @@ func (rs *roundScorer) scan(d *bitset.Set, cands []int) {
 	start := time.Now()
 	rs.cands = append(rs.cands[:0], cands...)
 	for _, a := range cands {
-		rs.counts[a] = 0
+		rs.counts[a] = 0 //rkvet:ignore atomicfield quiescent write: the zeroing happens before any unit is dispatched, and the channel send publishes it to the workers
 	}
 	rs.d = d
 	rs.words = d.NumWords()
@@ -197,6 +198,7 @@ func (rs *roundScorer) scan(d *bitset.Set, cands []int) {
 
 // runUnits claims (candidate, stripe) units off the shared counter until the
 // scan is exhausted.
+//rkvet:noalloc
 func (rs *roundScorer) runUnits() {
 	for {
 		u := int(rs.next.Add(1)) - 1

@@ -20,7 +20,7 @@ import (
 // dead, so the two are byte-identical on every input (asserted by the
 // differential test in anytime_test.go).
 func SRK(c *Context, x feature.Instance, y feature.Label, alpha float64) (Key, error) {
-	key, _, err := SRKAnytime(context.Background(), c, x, y, alpha)
+	key, _, err := SRKAnytime(context.Background(), c, x, y, alpha) //rkvet:ignore ctxflow SRK is the sanctioned never-cancelled specialization; no caller deadline exists to thread
 	return key, err
 }
 
@@ -35,7 +35,7 @@ func SRK(c *Context, x feature.Instance, y feature.Label, alpha float64) (Key, e
 // compute (asserted against SRK and the lazy engine in srk_test.go and
 // lazy_test.go).
 func SRKOrdered(c *Context, x feature.Instance, y feature.Label, alpha float64) ([]int, error) {
-	picks, _, err := srkAnytime(context.Background(), c, x, y, alpha)
+	picks, _, err := srkAnytime(context.Background(), c, x, y, alpha) //rkvet:ignore ctxflow SRKOrdered is a never-cancelled specialization like SRK; the pick order must not depend on a deadline
 	return picks, err
 }
 

@@ -239,6 +239,7 @@ func (s *Server) recoverLocked(walPath string) error {
 		}
 		s.seq = seq
 		for _, li := range items {
+			//rkvet:ignore ctxflow snapshot replay runs inside NewServer before any request exists; recovery must complete, not degrade to a partial context
 			slot, err := s.admitLocked(context.Background(), li)
 			if err != nil {
 				return fmt.Errorf("service: snapshot replay: %w", err)
@@ -254,6 +255,7 @@ func (s *Server) recoverLocked(walPath string) error {
 		if seq <= s.seq {
 			return nil // already covered by the snapshot
 		}
+		//rkvet:ignore ctxflow WAL replay runs inside NewServer before any request exists; a torn replay would lose acknowledged observations
 		slot, err := s.admitLocked(context.Background(), li)
 		if err != nil {
 			return err
@@ -438,10 +440,17 @@ func (s *Server) Seq() uint64 {
 // Warm bulk-loads labeled instances into the context (and the drift monitor
 // and observation log, when active); returns the number loaded.
 func (s *Server) Warm(items []feature.Labeled) (int, error) {
+	return s.WarmCtx(context.Background(), items) //rkvet:ignore ctxflow Warm is the sanctioned pre-serving specialization used by boot-time wiring; WarmCtx is the deadline-aware path
+}
+
+// WarmCtx is Warm with the caller's context threaded through the observation
+// pipeline, so a warm launched under a deadline traces and degrades like live
+// traffic.
+func (s *Server) WarmCtx(ctx context.Context, items []feature.Labeled) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i, li := range items {
-		if err := s.observeLocked(context.Background(), li); err != nil {
+		if err := s.observeLocked(ctx, li); err != nil {
 			return i, err
 		}
 	}
