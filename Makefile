@@ -5,7 +5,7 @@ GO ?= go
 # One ~10s native-fuzz burst per target; see fuzz-smoke.
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet lint lint-fast lint-deep race bench bench-json bench-json-smoke bench-gate tier1 fuzz-smoke chaos-smoke obs-smoke ci
+.PHONY: all build test vet lint lint-fast lint-deep race bench bench-json bench-json-smoke bench-gate tier1 fuzz-smoke chaos-smoke replica-chaos-smoke obs-smoke ci
 
 # Committed perf baseline the bench gate compares against (see bench-gate).
 BENCH_BASELINE ?= BENCH_2026-08-07.json
@@ -100,6 +100,16 @@ fuzz-smoke:
 chaos-smoke:
 	$(GO) test -race -short -run 'Chaos|Robust|Recovery|Degrade|Shed|Panic|Torn|Deadline|Closed|ParallelStress' \
 		./internal/service/ ./internal/faultinject/ ./internal/persist/ ./internal/cce/
+
+# The replication failover suite under the race detector (DESIGN.md §14):
+# a follower tailing a compacting primary through seeded stream cuts, flaky
+# dials and injected latency, a primary restart with an epoch bump, and a
+# follower crash/restart — asserting convergence to byte-identical
+# explanations and that bounded reads never overstate their freshness.
+# -short keeps the observation volume CI-sized.
+replica-chaos-smoke:
+	$(GO) test -race -short -run 'Chaos|Follower|Hub|Replica|Epoch' \
+		./internal/replica/ ./internal/service/
 
 # Tier-1 gate from ROADMAP.md.
 tier1: build test

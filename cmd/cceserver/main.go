@@ -8,15 +8,22 @@
 //	cceserver [-addr :8080] [-dataset loan] [-alpha 1.0] [-panel 10] [-retain 0] [-warm]
 //	          [-solver lazy] [-solver-parallelism NumCPU]
 //	          [-deadline 0] [-min-deadline 0] [-max-inflight 0]
-//	          [-state DIR] [-snapshot-every 256] [-wal-sync-every 1]
+//	          [-state DIR] [-snapshot-every 256] [-wal-sync-every 1] [-compact-wal]
+//	          [-follow URL]
 //	          [-metrics-addr ""] [-trace-sample 0] [-pprof] [-log-level info]
 //
 // Endpoints: GET /schema, POST /observe, POST /explain, GET /stats,
 // GET /healthz, GET /metrics (Prometheus text format) and, when tracing is
-// on, GET /debug/traces. With -metrics-addr the operational endpoints
-// (/metrics, /healthz, /debug/traces, and /debug/pprof/* under -pprof) are
-// additionally served on a separate listener so the scrape plane can be
-// firewalled away from the serving plane.
+// on, GET /debug/traces. A primary additionally serves the replication plane
+// (GET /replicate, GET /snapshot; DESIGN.md §14). With -metrics-addr the
+// operational endpoints (/metrics, /healthz, /debug/traces, and
+// /debug/pprof/* under -pprof) are additionally served on a separate listener
+// so the scrape plane can be firewalled away from the serving plane.
+//
+// -follow=<primary-url> starts a read replica instead: it tails the
+// primary's observation stream, serves /explain with the staleness contract
+// (replica_seq / staleness_ms, shedding on max_staleness_ms), answers 403 on
+// /observe, and catches up from /snapshot whenever its WAL tail is lost.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight requests finish, the final
 // state is snapshotted, and the observation log is closed.
@@ -26,6 +33,8 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -39,6 +48,7 @@ import (
 	"github.com/xai-db/relativekeys/internal/feature"
 	"github.com/xai-db/relativekeys/internal/model"
 	"github.com/xai-db/relativekeys/internal/obs"
+	"github.com/xai-db/relativekeys/internal/replica"
 	"github.com/xai-db/relativekeys/internal/service"
 )
 
@@ -62,6 +72,9 @@ func main() {
 		stateDir      = flag.String("state", "", "directory for crash-safe state (snapshot + observation log); empty disables persistence")
 		snapshotEvery = flag.Int("snapshot-every", 256, "observations between atomic snapshots")
 		walSyncEvery  = flag.Int("wal-sync-every", 1, "observation-log appends per fsync (1 = sync every observation)")
+		compactWAL    = flag.Bool("compact-wal", false, "truncate the observation log after each successful snapshot; lagging followers catch up from /snapshot")
+
+		follow = flag.String("follow", "", "run as a read replica of the primary at this base URL (e.g. http://primary:8080)")
 
 		metricsAddr = flag.String("metrics-addr", "", "separate listener for /metrics, /healthz, /debug/traces and pprof (empty = serve them on -addr only)")
 		traceSample = flag.Int("trace-sample", 0, "sample 1 in N requests into /debug/traces (0 disables tracing)")
@@ -107,8 +120,59 @@ func main() {
 		fatal("parse flags", errors.New("-solver must be lazy or eager"))
 	}
 
+	follower := *follow != ""
+	if follower && *warm {
+		fatal("parse flags", errors.New("-warm and -follow are mutually exclusive: a replica warms from its primary"))
+	}
+
+	// The primary's epoch: its boot identity, persisted (and bumped) in the
+	// state dir so followers can fence streams from a previous life. Without
+	// persistence the epoch is minted fresh per process, which fences just as
+	// well — a restart loses the context anyway.
+	epoch := ""
+	if !follower {
+		if *stateDir != "" {
+			if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+				fatal("create state dir", err)
+			}
+			epoch, err = replica.NextEpoch(*stateDir)
+			if err != nil {
+				fatal("mint epoch", err)
+			}
+		} else {
+			epoch = fmt.Sprintf("mem-%d", time.Now().UnixNano())
+		}
+	}
+
+	// The hub closures capture srv before it exists; they only run once the
+	// listener is up, well after NewServer returns.
+	var srv *service.Server
+	var hub *replica.Hub
+	var onReplicate func(seq uint64, li feature.Labeled)
+	if !follower {
+		hub = replica.NewHub(replica.HubConfig{
+			Epoch: epoch,
+			Seq:   func() uint64 { return srv.Seq() },
+			Base:  func() uint64 { return srv.WALBase() },
+			OpenWAL: func() (io.ReadCloser, error) {
+				path := srv.WALPath()
+				if path == "" {
+					return nil, nil
+				}
+				f, err := os.Open(path)
+				if os.IsNotExist(err) {
+					return nil, nil
+				}
+				return f, err
+			},
+			WriteSnapshot: func(w io.Writer) error { return srv.WriteSnapshotTo(w) },
+			Logger:        logger.With("component", "replica-hub"),
+		})
+		onReplicate = hub.Publish
+	}
+
 	tracer := obs.NewTracer(*traceSample, *traceKeep)
-	srv, err := service.NewServer(service.Config{
+	srv, err = service.NewServer(service.Config{
 		Schema:          ds.Schema,
 		Alpha:           *alpha,
 		PanelSize:       *panel,
@@ -121,6 +185,10 @@ func main() {
 		StateDir:        *stateDir,
 		SnapshotEvery:   *snapshotEvery,
 		WALSyncEvery:    *walSyncEvery,
+		CompactWAL:      *compactWAL,
+		Follower:        follower,
+		Epoch:           epoch,
+		OnReplicate:     onReplicate,
 		Tracer:          tracer,
 		Logger:          logger.With("component", "service"),
 	})
@@ -133,6 +201,17 @@ func main() {
 	obs.NewGaugeFunc("rk_context_rows",
 		"Live rows in the explanation context.",
 		func() float64 { return float64(srv.ContextSize()) })
+	if follower {
+		// The replica lag gauges read this one process's server at scrape
+		// time, so like rk_context_rows they register here, not in a package
+		// that test suites instantiate many of.
+		obs.NewGaugeFunc("rk_replica_lag_entries",
+			"Observations the primary has durably logged that this follower has not yet applied.",
+			func() float64 { return float64(srv.ReplicaLagEntries()) })
+		obs.NewGaugeFunc("rk_replica_lag_seconds",
+			"Seconds since this follower was provably caught up with its primary (-1 = never yet).",
+			func() float64 { return srv.ReplicaLagSeconds() })
+	}
 
 	if recovered := srv.Seq(); recovered > 0 {
 		logger.Info("recovered persisted state", "observations", recovered, "state_dir", *stateDir)
@@ -163,11 +242,39 @@ func main() {
 		"addr", *addr, "dataset", ds.Name,
 		"features", ds.Schema.NumFeatures(), "alpha", *alpha,
 		"solver_parallelism", *solverPar,
-		"trace_sample", *traceSample)
+		"trace_sample", *traceSample,
+		"role", srv.Role())
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	handler := srv.Handler()
+	if hub != nil {
+		// The replication plane mounts outside the request middleware: its
+		// streams are long-lived and must reach the raw Flusher.
+		root := http.NewServeMux()
+		hub.Mount(root)
+		root.Handle("/", handler)
+		handler = root
+	}
+	if follower {
+		fol, ferr := replica.NewFollower(replica.Config{
+			PrimaryURL: *follow,
+			StateDir:   *stateDir,
+			Logger:     logger.With("component", "replica-follower"),
+		}, srv)
+		if ferr != nil {
+			fatal("build follower", ferr)
+		}
+		go func() {
+			if err := fol.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				logger.Error("replication tail ended", "err", err)
+			}
+		}()
+		logger.Info("following primary", "primary", *follow, "epoch", srv.Epoch())
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
 	select {

@@ -181,6 +181,113 @@ func run() error {
 	if !found {
 		return fmt.Errorf("no explain trace with an srk.greedy span:\n%s", traces)
 	}
+
+	return replicaSmoke(tmp, bin, base, values, prediction)
+}
+
+// replicaSmoke boots a follower against the already-running primary and
+// asserts the replication plane is observable end to end: the rk_replica_*
+// series exist on the follower's ops listener, /healthz reports the follower
+// role with the primary's epoch and watermark, and a bounded /explain carries
+// the staleness contract fields.
+func replicaSmoke(tmp, bin, primaryBase string, values map[string]string, prediction string) error {
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	opsAddr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	logPath := filepath.Join(tmp, "follower.log")
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		return err
+	}
+	defer logFile.Close() //rkvet:ignore dropperr write-side close at exit; the log is diagnostic only
+	fol := exec.Command(bin,
+		"-addr", addr,
+		"-metrics-addr", opsAddr,
+		"-state", filepath.Join(tmp, "fstate"),
+		"-follow", primaryBase)
+	fol.Stdout, fol.Stderr = logFile, logFile
+	if err := fol.Start(); err != nil {
+		return fmt.Errorf("start follower: %w", err)
+	}
+	defer func() {
+		_ = fol.Process.Signal(syscall.SIGTERM) //rkvet:ignore dropperr teardown signal; Wait below reports the real outcome
+		_ = fol.Wait()                          //rkvet:ignore dropperr SIGTERM exit status is expected nonzero
+	}()
+
+	base := "http://" + addr
+	if err := waitReady(base+"/schema", 10*time.Second); err != nil {
+		return fmt.Errorf("follower: %w\nfollower log:\n%s", err, readLog(logPath))
+	}
+
+	// Wait for catch-up: the primary holds 10 observations.
+	var health struct {
+		Status     string `json:"status"`
+		Role       string `json:"role"`
+		Epoch      string `json:"epoch"`
+		AppliedSeq uint64 `json:"applied_seq"`
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		healthBody, gerr := get("http://" + opsAddr + "/healthz")
+		if gerr == nil {
+			if jerr := json.Unmarshal([]byte(healthBody), &health); jerr != nil {
+				return fmt.Errorf("follower healthz decode: %w (%s)", jerr, healthBody)
+			}
+			if health.AppliedSeq >= 10 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("follower never caught up (healthz: %+v)\nfollower log:\n%s", health, readLog(logPath))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if health.Role != "follower" || health.Status != "ok" {
+		return fmt.Errorf("follower healthz role=%q status=%q, want follower/ok", health.Role, health.Status)
+	}
+	if health.Epoch == "" {
+		return fmt.Errorf("follower healthz carries no primary epoch")
+	}
+
+	// A bounded read on a caught-up follower answers and discloses its
+	// staleness; the fields are the contract, so their absence is a failure.
+	client := service.NewClient(base)
+	resp, err := client.ExplainStale(values, prediction, 0, 30*time.Second)
+	if err != nil {
+		return fmt.Errorf("follower bounded explain: %w", err)
+	}
+	if resp.ReplicaSeq == nil || *resp.ReplicaSeq < 10 {
+		return fmt.Errorf("follower explain replica_seq = %v, want >= 10", resp.ReplicaSeq)
+	}
+	if resp.StalenessMS == nil || *resp.StalenessMS < 0 || *resp.StalenessMS > 30_000 {
+		return fmt.Errorf("follower explain staleness_ms = %v, want within [0, 30000]", resp.StalenessMS)
+	}
+
+	// The replication series exist on the follower's ops listener: the lag
+	// gauges are registered only in follower mode, and a caught-up idle
+	// follower reports zero lag entries.
+	metrics, err := get("http://" + opsAddr + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, series := range []string{
+		"rk_replica_lag_entries",
+		"rk_replica_lag_seconds",
+		"rk_replica_reconnects_total",
+		"rk_replica_snapshot_catchups_total",
+	} {
+		if _, ok := seriesValue(metrics, series); !ok {
+			return fmt.Errorf("follower /metrics missing series %s\n%s", series, metrics)
+		}
+	}
+	if v, _ := seriesValue(metrics, "rk_replica_lag_entries"); v != 0 { //rkvet:ignore floateq the gauge is an integer entry count; a caught-up follower must report exactly zero
+		return fmt.Errorf("caught-up follower reports lag_entries = %v, want 0", v)
+	}
 	return nil
 }
 

@@ -1,0 +1,91 @@
+// Package backoff implements the repo's one retry-delay policy: capped,
+// jittered exponential backoff honouring a server-supplied floor (Retry-After).
+// The service client (transient 429/503/transport failures) and the
+// replication follower (stream reconnects) share this policy so "how fast do
+// we hammer a struggling server" is decided in exactly one place.
+package backoff
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Defaults applied when a Policy leaves Base or Max zero.
+const (
+	DefaultBase = 50 * time.Millisecond
+	DefaultMax  = 2 * time.Second
+)
+
+// Policy computes retry delays. The zero value is usable: 50ms base doubling
+// to a 2s cap with uniform jitter over [d/2, d].
+type Policy struct {
+	Base time.Duration // first delay; 0 = DefaultBase
+	Max  time.Duration // cap; 0 = DefaultMax
+
+	// Jitter and Sleep are test seams; nil means uniform jitter over
+	// [d/2, d] and a real clock.
+	Jitter func(time.Duration) time.Duration
+	Sleep  func(time.Duration)
+}
+
+// Delay returns the backoff before retry number attempt (0-based):
+// min(Max, Base·2^attempt) with jitter, never less than floor (the server's
+// Retry-After hint, 0 when absent).
+func (p Policy) Delay(attempt int, floor time.Duration) time.Duration {
+	base, max := p.Base, p.Max
+	if base <= 0 {
+		base = DefaultBase
+	}
+	if max <= 0 {
+		max = DefaultMax
+	}
+	if attempt > 30 {
+		attempt = 30 // the shift below must not overflow
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > max {
+		d = max
+	}
+	if p.Jitter != nil {
+		d = p.Jitter(d)
+	} else if d > 1 {
+		d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	}
+	if floor > d {
+		d = floor
+	}
+	return d
+}
+
+// SleepFor blocks for Delay(attempt, floor) using the policy's clock.
+func (p Policy) SleepFor(attempt int, floor time.Duration) {
+	d := p.Delay(attempt, floor)
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// Wait is SleepFor with cancellation: it returns early with ctx.Err() when
+// the caller's context ends mid-sleep, so a draining follower does not hang
+// out a full backoff before noticing shutdown.
+func (p Policy) Wait(ctx context.Context, attempt int, floor time.Duration) error {
+	d := p.Delay(attempt, floor)
+	if p.Sleep != nil { // test seam: synchronous, still cancellable up front
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		p.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

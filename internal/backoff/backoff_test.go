@@ -1,0 +1,89 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func ident(d time.Duration) time.Duration { return d }
+
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Jitter: ident}
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := p.Delay(i, 0); got != w*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v, want %v (exponential, capped)", i, got, w*time.Millisecond)
+		}
+	}
+	// Far attempts must not overflow the shift into a negative duration.
+	if got := p.Delay(62, 0); got != 80*time.Millisecond {
+		t.Fatalf("attempt 62: delay %v, want the cap", got)
+	}
+}
+
+func TestDelayDefaults(t *testing.T) {
+	p := Policy{Jitter: ident}
+	if got := p.Delay(0, 0); got != DefaultBase {
+		t.Fatalf("zero-value first delay %v, want %v", got, DefaultBase)
+	}
+	if got := p.Delay(20, 0); got != DefaultMax {
+		t.Fatalf("zero-value capped delay %v, want %v", got, DefaultMax)
+	}
+}
+
+func TestDelayFloorWins(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Max: 10 * time.Millisecond, Jitter: ident}
+	if got := p.Delay(0, time.Second); got != time.Second {
+		t.Fatalf("Retry-After floor ignored: delay %v", got)
+	}
+}
+
+func TestDefaultJitterBounds(t *testing.T) {
+	p := Policy{Base: 64 * time.Millisecond, Max: 64 * time.Millisecond}
+	for i := 0; i < 100; i++ {
+		d := p.Delay(0, 0)
+		if d < 32*time.Millisecond || d > 64*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [d/2, d]", d)
+		}
+	}
+}
+
+func TestSleepForUsesSeam(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{Base: 5 * time.Millisecond, Max: 20 * time.Millisecond, Jitter: ident,
+		Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	p.SleepFor(1, 0)
+	if len(slept) != 1 || slept[0] != 10*time.Millisecond {
+		t.Fatalf("seam saw %v, want one 10ms sleep", slept)
+	}
+}
+
+func TestWaitCancels(t *testing.T) {
+	p := Policy{Base: time.Hour, Max: time.Hour, Jitter: ident}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Wait(ctx, 0, 0) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Wait returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait did not observe cancellation")
+	}
+}
+
+func TestWaitSeamChecksCancellationFirst(t *testing.T) {
+	called := false
+	p := Policy{Sleep: func(time.Duration) { called = true }}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Wait(ctx, 0, 0); err != context.Canceled {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if called {
+		t.Fatal("seam slept despite a cancelled context")
+	}
+}

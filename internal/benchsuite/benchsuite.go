@@ -42,7 +42,8 @@ func Cases() []Case {
 		{Name: "obs/span_unsampled", Fn: benchSpanUnsampled},
 	}
 	cases = append(cases, lazyCases()...)
-	return append(cases, parallelCases()...)
+	cases = append(cases, parallelCases()...)
+	return append(cases, replicaCases()...)
 }
 
 // loanContext builds the deterministic Loan benchmark context: the test-split

@@ -1,0 +1,41 @@
+package benchsuite
+
+import (
+	"context"
+	"testing"
+
+	"github.com/xai-db/relativekeys/internal/service"
+)
+
+// replicaCases pins the follower-side replication hot path: how fast a read
+// replica can drain a shipped WAL tail. Catch-up speed bounds both failover
+// time and the staleness a follower can promise, so a regression here widens
+// the window in which bounded reads shed.
+func replicaCases() []Case {
+	return []Case{{Name: "replica/follower_catchup", Fn: benchFollowerCatchup}}
+}
+
+// benchFollowerCatchup measures ApplyReplicated per shipped record on a
+// retained follower: admit into the context, advance the watermark, evict.
+// Retention keeps the context at steady state, as a long-running replica
+// would be, so the numbers do not drift with b.N.
+func benchFollowerCatchup(b *testing.B) {
+	_, inference, schema := loanContext(b)
+	srv, err := service.NewServer(service.Config{
+		Schema:   schema,
+		Alpha:    1.0,
+		Follower: true,
+		Retain:   256,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background() //rkvet:ignore ctxflow the benchmark pins the apply path itself; there is no caller deadline to forward
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := srv.ApplyReplicated(ctx, uint64(i)+1, inference[i%len(inference)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

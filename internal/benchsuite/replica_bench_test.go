@@ -1,0 +1,14 @@
+package benchsuite
+
+import "testing"
+
+// BenchmarkFollowerCatchup is the go-test entry to the replication apply
+// path (DESIGN.md §14):
+//
+//	go test -run=NONE -bench FollowerCatchup -benchmem ./internal/benchsuite/
+//
+// The same case runs under `make bench-json` via Cases(); this entry exists
+// for interactive comparison with benchstat.
+func BenchmarkFollowerCatchup(b *testing.B) {
+	benchFollowerCatchup(b)
+}

@@ -1,0 +1,155 @@
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// CutConn simulates a network partition mid-stream: bytes flow through until
+// cutAfter total bytes have crossed (reads and writes each counted against
+// their own budget), the straddling call delivers its partial prefix, and
+// every later call fails with ErrInjected. Like TornWriter the cut offset is
+// byte-exact and deterministic, so replication chaos tests know precisely
+// which WAL record the follower saw half of.
+type CutConn struct {
+	net.Conn
+
+	mu        sync.Mutex
+	readLeft  int64 // guarded by mu; read bytes still allowed through
+	writeLeft int64 // guarded by mu; write bytes still allowed through
+	dead      bool  // guarded by mu; true once either direction was cut
+}
+
+// NewCutConn wraps conn with a deterministic cut after cutAfter bytes in each
+// direction. A negative budget means that direction never cuts.
+func NewCutConn(conn net.Conn, cutAfter int64) *CutConn {
+	return &CutConn{Conn: conn, readLeft: cutAfter, writeLeft: cutAfter}
+}
+
+// Read forwards to the wrapped conn, tearing the stream at the read budget.
+func (c *CutConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("faultinject: read after cut: %w", ErrInjected)
+	}
+	left := c.readLeft
+	c.mu.Unlock()
+	if left >= 0 && int64(len(p)) > left {
+		p = p[:left]
+	}
+	var n int
+	var err error
+	if len(p) > 0 {
+		n, err = c.Conn.Read(p)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readLeft >= 0 {
+		c.readLeft -= int64(n)
+		if c.readLeft <= 0 {
+			c.dead = true
+			c.Conn.Close() //rkvet:ignore dropperr injected partition; the peer sees a reset either way
+			if err == nil {
+				err = fmt.Errorf("faultinject: stream cut: %w", ErrInjected)
+			}
+		}
+	}
+	return n, err
+}
+
+// Write forwards to the wrapped conn, tearing the stream at the write budget.
+func (c *CutConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("faultinject: write after cut: %w", ErrInjected)
+	}
+	left := c.writeLeft
+	cut := left >= 0 && int64(len(p)) > left
+	if cut {
+		p = p[:left]
+	}
+	c.mu.Unlock()
+	var n int
+	var err error
+	if len(p) > 0 {
+		n, err = c.Conn.Write(p)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.writeLeft >= 0 {
+		c.writeLeft -= int64(n)
+	}
+	if cut {
+		c.dead = true
+		c.Conn.Close() //rkvet:ignore dropperr injected partition; the peer sees a reset either way
+		if err == nil {
+			err = fmt.Errorf("faultinject: torn stream write: %w", ErrInjected)
+		}
+	}
+	return n, err
+}
+
+// FlakyDialer injects network faults at the dial seam so an http.Transport
+// using its DialContext exercises every replication failure mode: refused
+// dials, injected latency before bytes flow, and mid-stream cuts at exact
+// byte offsets. Successive successful dials consume Cuts in order (a cut of
+// -1 means that connection never cuts), so a chaos schedule reads as a
+// literal list of partition points.
+type FlakyDialer struct {
+	Inj          *Injector
+	DialFailProb float64       // probability a dial is refused outright
+	Latency      time.Duration // injected stall before a successful dial returns
+	LatencyProb  float64       // probability the stall fires
+	Cuts         []int64       // per-connection byte budgets; exhausted = no more cuts
+
+	mu    sync.Mutex
+	dials int // guarded by mu; successful dials so far
+
+	// Dial is a test seam; nil means net.Dialer.
+	Dial func(ctx context.Context, network, addr string) (net.Conn, error)
+}
+
+// DialContext implements the http.Transport dial hook.
+func (d *FlakyDialer) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	if d.Inj != nil && d.Inj.Roll(d.DialFailProb) {
+		return nil, fmt.Errorf("faultinject: dial %s: %w", addr, ErrInjected)
+	}
+	if d.Inj != nil && d.Latency > 0 && d.Inj.Roll(d.LatencyProb) {
+		t := time.NewTimer(d.Latency)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+	dial := d.Dial
+	if dial == nil {
+		var nd net.Dialer
+		dial = nd.DialContext
+	}
+	conn, err := dial(ctx, network, addr)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	i := d.dials
+	d.dials++
+	d.mu.Unlock()
+	if i < len(d.Cuts) && d.Cuts[i] >= 0 {
+		return NewCutConn(conn, d.Cuts[i]), nil
+	}
+	return conn, nil
+}
+
+// Dials reports how many connections have been handed out, cut or not.
+func (d *FlakyDialer) Dials() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dials
+}

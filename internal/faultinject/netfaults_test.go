@@ -1,0 +1,135 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePump writes msg into w in one call and closes it, ignoring the injected
+// error the straddling write reports.
+func pipePump(w net.Conn, msg []byte) {
+	w.Write(msg) //rkvet:ignore dropperr test pump; the cut error is the point
+	w.Close()    //rkvet:ignore dropperr test pump
+}
+
+func TestCutConnReadCutsAtExactOffset(t *testing.T) {
+	client, server := net.Pipe()
+	msg := []byte("0123456789abcdef")
+	go pipePump(server, msg)
+	cut := NewCutConn(client, 10)
+	got, err := io.ReadAll(cut)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("read past cut ended with %v, want ErrInjected", err)
+	}
+	if string(got) != "0123456789" {
+		t.Fatalf("read %q through a 10-byte cut, want the exact prefix", got)
+	}
+	if _, err := cut.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read after cut = %v, want ErrInjected", err)
+	}
+}
+
+func TestCutConnWriteCutsAtExactOffset(t *testing.T) {
+	client, server := net.Pipe()
+	recv := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(server) //rkvet:ignore dropperr reading until the injected reset
+		recv <- b
+	}()
+	cut := NewCutConn(client, 5)
+	n, err := cut.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("straddling write ended with %v, want ErrInjected", err)
+	}
+	if n != 5 {
+		t.Fatalf("straddling write passed %d bytes, want exactly 5", n)
+	}
+	if _, err := cut.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after cut = %v, want ErrInjected", err)
+	}
+	select {
+	case b := <-recv:
+		if string(b) != "01234" {
+			t.Fatalf("peer received %q, want the exact 5-byte prefix", b)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer never saw the connection close")
+	}
+}
+
+func TestCutConnNegativeBudgetNeverCuts(t *testing.T) {
+	client, server := net.Pipe()
+	msg := []byte("all the way through")
+	go pipePump(server, msg)
+	got, err := io.ReadAll(NewCutConn(client, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("read %q, want %q", got, msg)
+	}
+}
+
+func TestFlakyDialerRefusesDeterministically(t *testing.T) {
+	d := &FlakyDialer{Inj: New(1), DialFailProb: 1}
+	if _, err := d.DialContext(context.Background(), "tcp", "127.0.0.1:0"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dial = %v, want ErrInjected", err)
+	}
+	if d.Dials() != 0 {
+		t.Fatalf("refused dial counted as a connection: %d", d.Dials())
+	}
+}
+
+func TestFlakyDialerAppliesCutSchedule(t *testing.T) {
+	d := &FlakyDialer{
+		Inj:  New(2),
+		Cuts: []int64{4, -1},
+		Dial: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			client, server := net.Pipe()
+			go pipePump(server, []byte("0123456789"))
+			return client, nil
+		},
+	}
+	// First connection: cut after 4 bytes.
+	c1, err := d.DialContext(context.Background(), "tcp", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(c1)
+	if !errors.Is(err, ErrInjected) || string(got) != "0123" {
+		t.Fatalf("conn 1 read %q with %v, want 4-byte prefix and ErrInjected", got, err)
+	}
+	// Second connection: schedule says never cut.
+	c2, err := d.DialContext(context.Background(), "tcp", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = io.ReadAll(c2)
+	if err != nil || string(got) != "0123456789" {
+		t.Fatalf("conn 2 read %q with %v, want the full stream", got, err)
+	}
+	// Third connection: schedule exhausted, plain conn.
+	c3, err := d.DialContext(context.Background(), "tcp", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c3.(*CutConn); ok {
+		t.Fatal("connection past the cut schedule still wrapped")
+	}
+	if d.Dials() != 3 {
+		t.Fatalf("Dials() = %d, want 3", d.Dials())
+	}
+}
+
+func TestFlakyDialerLatencyHonoursContext(t *testing.T) {
+	d := &FlakyDialer{Inj: New(3), Latency: time.Hour, LatencyProb: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := d.DialContext(ctx, "tcp", "x"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("stalled dial = %v, want context.Canceled", err)
+	}
+}

@@ -207,12 +207,14 @@ func TestWALReplayStopsAtChecksumMismatch(t *testing.T) {
 	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	// Damage with intact records after it is NOT a crash tail: recovery must
+	// refuse rather than silently dropping acknowledged observations.
 	n, torn, err := ReplayWALFile(path, func(uint64, feature.Labeled) error { return nil })
-	if err != nil {
-		t.Fatal(err)
+	if !errors.Is(err, ErrCorruptWAL) {
+		t.Fatalf("mid-file corruption: err=%v, want ErrCorruptWAL", err)
 	}
-	if !torn || n != 1 {
-		t.Fatalf("replay past corruption: n=%d torn=%v", n, torn)
+	if torn || n != 1 {
+		t.Fatalf("mid-file corruption: n=%d torn=%v, want the clean prefix only", n, torn)
 	}
 }
 

@@ -48,12 +48,12 @@ func snapshotChecksum(f *snapshotFile) (uint32, error) {
 	return crc32.ChecksumIEEE(b), nil
 }
 
-// SaveSnapshot atomically writes the retained observations (in arrival
-// order) plus the observation sequence watermark seq: temp file, fsync,
-// rename, directory fsync. A crash mid-save leaves the previous snapshot
-// intact.
-func SaveSnapshot(path string, schema *feature.Schema, items []feature.Labeled, seq uint64) error {
-	start := time.Now()
+// EncodeSnapshot writes the checksummed snapshot encoding of the retained
+// observations (in arrival order) plus the sequence watermark seq to w. It is
+// the wire/disk-agnostic half of SaveSnapshot: the replication primary
+// streams exactly these bytes from /snapshot so a follower's catch-up file is
+// bit-compatible with a local snapshot.
+func EncodeSnapshot(w io.Writer, schema *feature.Schema, items []feature.Labeled, seq uint64) error {
 	f := snapshotFile{
 		Version: snapshotVersion,
 		Seq:     seq,
@@ -68,10 +68,19 @@ func SaveSnapshot(path string, schema *feature.Schema, items []feature.Labeled, 
 		return err
 	}
 	f.CRC = crc
+	return json.NewEncoder(w).Encode(&f)
+}
+
+// SaveSnapshot atomically writes the retained observations (in arrival
+// order) plus the observation sequence watermark seq: temp file, fsync,
+// rename, directory fsync. A crash mid-save leaves the previous snapshot
+// intact.
+func SaveSnapshot(path string, schema *feature.Schema, items []feature.Labeled, seq uint64) error {
+	start := time.Now()
 	var written int64
-	err = WriteFileAtomic(path, func(w io.Writer) error {
+	err := WriteFileAtomic(path, func(w io.Writer) error {
 		cw := &countingWriter{w: w}
-		err := json.NewEncoder(cw).Encode(&f)
+		err := EncodeSnapshot(cw, schema, items, seq)
 		written = cw.n
 		return err
 	})
@@ -105,6 +114,21 @@ func LoadSnapshot(path string) (*feature.Schema, []feature.Labeled, uint64, erro
 	if err != nil {
 		return nil, nil, 0, err
 	}
+	return decodeSnapshotBytes(b)
+}
+
+// DecodeSnapshot reads one snapshot encoding from r — the receive side of
+// EncodeSnapshot, used by a follower ingesting /snapshot. Damage surfaces as
+// ErrCorruptSnapshot exactly as in LoadSnapshot.
+func DecodeSnapshot(r io.Reader) (*feature.Schema, []feature.Labeled, uint64, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	return decodeSnapshotBytes(b)
+}
+
+func decodeSnapshotBytes(b []byte) (*feature.Schema, []feature.Labeled, uint64, error) {
 	var f snapshotFile
 	if err := json.Unmarshal(b, &f); err != nil {
 		return nil, nil, 0, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)

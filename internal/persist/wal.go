@@ -3,6 +3,7 @@ package persist
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -39,6 +40,42 @@ func recordChecksum(rec *walRecord) (uint32, error) {
 		return 0, err
 	}
 	return crc32.ChecksumIEEE(b), nil
+}
+
+// EncodeWALRecord renders one observation as a checksummed, newline-terminated
+// WAL line — the exact bytes Append writes, exposed so the replication hub can
+// ship records over the wire in the on-disk framing (DESIGN.md §14).
+func EncodeWALRecord(seq uint64, li feature.Labeled) ([]byte, error) {
+	rec := walRecord{Seq: seq, X: append([]int32(nil), li.X...), Y: li.Y}
+	crc, err := recordChecksum(&rec)
+	if err != nil {
+		return nil, err
+	}
+	rec.CRC = crc
+	b, err := json.Marshal(&rec)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeWALRecord parses and CRC-validates one WAL line (with or without its
+// trailing newline). This is the receive-side validation a replication
+// follower runs on every streamed record before applying it.
+func DecodeWALRecord(line []byte) (uint64, feature.Labeled, error) {
+	var rec walRecord
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return 0, feature.Labeled{}, fmt.Errorf("persist: wal record: %w", err)
+	}
+	want := rec.CRC
+	got, err := recordChecksum(&rec)
+	if err != nil {
+		return 0, feature.Labeled{}, err
+	}
+	if got != want {
+		return 0, feature.Labeled{}, fmt.Errorf("persist: wal record seq %d: checksum %08x, stored %08x", rec.Seq, got, want)
+	}
+	return rec.Seq, feature.Labeled{X: feature.Instance(rec.X), Y: rec.Y}, nil
 }
 
 // WAL is an append-only observation log. Appends are buffered only by the
@@ -120,64 +157,135 @@ func (w *WAL) Close() error {
 	return err
 }
 
-// ReplayWAL reads records in append order, calling fn for each intact one.
-// Replay stops at the first record that is torn (partial final line) or
-// fails its checksum: that is the kill -9 boundary, and everything after it
-// is untrusted. The return reports how many records were applied and whether
-// a damaged tail was dropped; fn errors abort the replay as-is.
-func ReplayWAL(r io.Reader, fn func(seq uint64, li feature.Labeled) error) (int, bool, error) {
-	applied, torn, err := replayWAL(r, fn)
-	walReplayRecords.Add(int64(applied))
-	if torn {
-		walReplayTorn.Inc()
+// ErrNotTruncatable reports a WAL whose sink cannot be truncated — only
+// file-backed logs (or test sinks implementing Truncate(int64) error) support
+// compaction.
+var ErrNotTruncatable = errors.New("persist: wal sink does not support truncation")
+
+// Truncate discards every record in the log. The service calls this after a
+// successful snapshot when WAL compaction is on: the snapshot's seq watermark
+// becomes the replication base, and O_APPEND writes continue from offset 0.
+func (w *WAL) Truncate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.file != nil {
+		return w.file.Truncate(0)
 	}
-	return applied, torn, err
+	if t, ok := w.w.(interface{ Truncate(int64) error }); ok {
+		return t.Truncate(0)
+	}
+	return ErrNotTruncatable
 }
 
-// replayWAL is the uninstrumented scan; ReplayWAL wraps it with the recovery
-// counters.
-func replayWAL(r io.Reader, fn func(seq uint64, li feature.Labeled) error) (int, bool, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	applied := 0
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var rec walRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			return applied, true, nil // torn or corrupt: stop at the crash boundary
-		}
-		want := rec.CRC
-		got, err := recordChecksum(&rec)
-		if err != nil {
-			return applied, false, err
-		}
-		if got != want {
-			return applied, true, nil
-		}
-		if err := fn(rec.Seq, feature.Labeled{X: feature.Instance(rec.X), Y: rec.Y}); err != nil {
-			return applied, false, fmt.Errorf("persist: wal replay at seq %d: %w", rec.Seq, err)
-		}
-		applied++
+// ErrCorruptWAL marks a log whose damage is NOT the kill -9 signature: a
+// record that fails decoding or its checksum with more intact records after
+// it. A crash tears only the final line, so mid-file damage means lost or
+// tampered data — callers must refuse to recover from it silently rather
+// than dropping acknowledged observations.
+var ErrCorruptWAL = errors.New("persist: wal damaged mid-file (not a crash tail)")
+
+// ReplayResult reports where a WAL scan ended, so callers can resume, truncate
+// a torn tail, or tell a clean EOF from a crash boundary without re-deriving
+// any of it.
+type ReplayResult struct {
+	Applied int    // records delivered to fn (seq > the replay cursor)
+	LastSeq uint64 // sequence number of the final intact record scanned; 0 when none
+	Offset  int64  // bytes of clean prefix: the offset just past the final intact line
+	Torn    bool   // a damaged final line (the kill -9 signature) was dropped
+}
+
+// ReplayWAL reads records in append order, calling fn for each intact one.
+// Replay stops at a torn final line — the kill -9 boundary — reporting
+// Torn=true; damage anywhere else surfaces as ErrCorruptWAL. The legacy
+// 3-tuple form of this API could not distinguish the two, which let a
+// mid-file corruption masquerade as a benign crash tail.
+func ReplayWAL(r io.Reader, fn func(seq uint64, li feature.Labeled) error) (int, bool, error) {
+	res, err := ReplayWALFrom(r, 0, fn)
+	return res.Applied, res.Torn, err
+}
+
+// ReplayWALFrom is the resumable cursor form of ReplayWAL: records with
+// seq ≤ from are scanned (they still count toward the clean prefix) but not
+// delivered to fn. It instruments the recovery counters; fn errors abort the
+// replay as-is.
+func ReplayWALFrom(r io.Reader, from uint64, fn func(seq uint64, li feature.Labeled) error) (ReplayResult, error) {
+	res, err := replayWALFrom(r, from, fn)
+	walReplayRecords.Add(int64(res.Applied))
+	if res.Torn {
+		walReplayTorn.Inc()
 	}
-	if err := sc.Err(); err != nil {
-		return applied, false, err
+	return res, err
+}
+
+// replayWALFrom is the uninstrumented scan behind ReplayWALFrom. It reads
+// raw lines (not a Scanner) so Offset is byte-exact: truncating the log at
+// Offset when Torn removes precisely the damaged tail, nothing else.
+func replayWALFrom(r io.Reader, from uint64, fn func(seq uint64, li feature.Labeled) error) (ReplayResult, error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	var res ReplayResult
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return res, rerr
+		}
+		body := line
+		if n := len(body); n > 0 && body[n-1] == '\n' {
+			body = body[:n-1]
+		}
+		if len(body) > 0 {
+			seq, li, derr := DecodeWALRecord(body)
+			if derr != nil {
+				// A damaged record is the crash boundary only when nothing
+				// follows it; otherwise the middle of the log is gone and
+				// recovery must not pretend it was a clean tail.
+				atEOF := rerr == io.EOF
+				if !atEOF {
+					if _, perr := br.Peek(1); perr == io.EOF {
+						atEOF = true
+					} else if perr != nil {
+						return res, perr
+					}
+				}
+				if !atEOF {
+					return res, fmt.Errorf("%w: damaged record at offset %d", ErrCorruptWAL, res.Offset)
+				}
+				res.Torn = true
+				return res, nil
+			}
+			res.Offset += int64(len(line))
+			res.LastSeq = seq
+			if seq > from {
+				if err := fn(seq, li); err != nil {
+					return res, fmt.Errorf("persist: wal replay at seq %d: %w", seq, err)
+				}
+				res.Applied++
+			}
+		} else {
+			res.Offset += int64(len(line)) // bare newline between records
+		}
+		if rerr == io.EOF {
+			return res, nil
+		}
 	}
-	return applied, false, nil
 }
 
 // ReplayWALFile replays the log at path; a missing file is zero records, not
 // an error (first boot).
 func ReplayWALFile(path string, fn func(seq uint64, li feature.Labeled) error) (int, bool, error) {
+	res, err := ReplayWALFileFrom(path, 0, fn)
+	return res.Applied, res.Torn, err
+}
+
+// ReplayWALFileFrom replays the log at path from the given cursor; a missing
+// file is an empty result, not an error (first boot).
+func ReplayWALFileFrom(path string, from uint64, fn func(seq uint64, li feature.Labeled) error) (ReplayResult, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return 0, false, nil
+		return ReplayResult{}, nil
 	}
 	if err != nil {
-		return 0, false, err
+		return ReplayResult{}, err
 	}
 	defer f.Close() //rkvet:ignore dropperr read-side close; nothing to recover
-	return ReplayWAL(f, fn)
+	return ReplayWALFrom(f, from, fn)
 }

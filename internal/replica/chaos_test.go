@@ -1,0 +1,192 @@
+package replica
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/xai-db/relativekeys/internal/faultinject"
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+// chaosClient builds an http.Client whose every connection runs through the
+// seeded fault injector: refused dials, injected latency, and mid-record
+// stream cuts at exact byte offsets. Keep-alives are off so each request
+// consumes its own entry in the cut schedule.
+func chaosClient(seed int64, cuts []int64) (*http.Client, *faultinject.FlakyDialer) {
+	fd := &faultinject.FlakyDialer{
+		Inj:          faultinject.New(seed),
+		DialFailProb: 0.15,
+		Latency:      3 * time.Millisecond,
+		LatencyProb:  0.3,
+		Cuts:         cuts,
+	}
+	return &http.Client{Transport: &http.Transport{
+		DialContext:       fd.DialContext,
+		DisableKeepAlives: true,
+	}}, fd
+}
+
+// allProbes enumerates every instance/label pair the schema admits, so the
+// differential check is exhaustive rather than sampled.
+func allProbes(s *feature.Schema) []feature.Labeled {
+	var probes []feature.Labeled
+	for i0 := 0; i0 < len(s.Attrs[0].Values); i0++ {
+		for i1 := 0; i1 < len(s.Attrs[1].Values); i1++ {
+			for i2 := 0; i2 < len(s.Attrs[2].Values); i2++ {
+				for y := 0; y < len(s.Labels); y++ {
+					probes = append(probes, feature.Labeled{
+						X: feature.Instance{feature.Value(i0), feature.Value(i1), feature.Value(i2)},
+						Y: feature.Label(y),
+					})
+				}
+			}
+		}
+	}
+	return probes
+}
+
+// probeStaleness issues one bounded explain against the follower and fails
+// the test if a 200 response admits to staleness beyond the bound — the
+// contract is shed-don't-lie, under chaos included.
+func probeStaleness(t *testing.T, followerURL string, schema *feature.Schema, li feature.Labeled, boundMS int64) (ok200 bool) {
+	t.Helper()
+	er, status := explainOn(t, followerURL, schema, li, boundMS)
+	if status != http.StatusOK {
+		return false
+	}
+	if er.StalenessMS == nil {
+		t.Fatalf("follower 200 under a staleness bound carries no staleness_ms")
+	}
+	if *er.StalenessMS < 0 || *er.StalenessMS > boundMS {
+		t.Fatalf("staleness contract violated: bound %dms, response admits %dms", boundMS, *er.StalenessMS)
+	}
+	if er.ReplicaSeq == nil {
+		t.Fatal("follower 200 carries no replica_seq")
+	}
+	return true
+}
+
+// TestChaosReplicationConvergence is the failover suite from DESIGN.md §14:
+// a follower tails a compacting primary through seeded stream cuts, flaky
+// dials, and injected latency; mid-run the primary restarts (epoch bump) and
+// the follower crash-restarts from its own state dir. The run must converge
+// to byte-identical explanations for every possible probe, and no bounded
+// read may ever overstate its freshness.
+func TestChaosReplicationConvergence(t *testing.T) {
+	batch, phasesN := 40, 3
+	if testing.Short() {
+		batch, phasesN = 16, 2
+	}
+	schema := testSchema(t)
+	opts := primaryOpts{snapshotEvery: 8, compactWAL: true}
+	p := newTestPrimary(t, t.TempDir(), opts)
+
+	// Cut schedule: tight budgets early (handshake and history torn
+	// mid-record), then looser ones; -1 entries let some streams live.
+	cuts := []int64{60, 200, -1, 90, 500, -1, -1, 150, 1 << 12, -1}
+	client, fd := chaosClient(1, cuts)
+	fdir := t.TempDir()
+	f := startFollower(t, fdir, p.URL(), client)
+	furl := serveFollower(t, f)
+
+	rows := testRows(101, batch*phasesN, schema)
+	seq := uint64(0)
+	probes := allProbes(schema)
+	answered := 0
+	for phase := 0; phase < phasesN; phase++ {
+		p.warm(rows[phase*batch : (phase+1)*batch])
+		seq += uint64(batch)
+		// Bounded reads during the storm: shed or honest, never stale-and-200.
+		for i, li := range probes[:6] {
+			bound := int64(2000)
+			if i%3 == 0 {
+				bound = 1 // nearly unmeetable: exercises the shed path
+			}
+			if probeStaleness(t, furl, schema, li, bound) {
+				answered++
+			}
+		}
+		switch phase {
+		case 0:
+			// Primary crash/recover: same address, new epoch, recovered state.
+			// In-flight streams die; the follower must fence and re-anchor.
+			p.restart(opts)
+		case 1:
+			// Follower crash/recover: resumes from its own snapshots and
+			// persisted epoch, through a fresh chaos transport.
+			f.stop()
+			client2, _ := chaosClient(2, cuts)
+			f = startFollower(t, fdir, p.URL(), client2)
+			furl = serveFollower(t, f)
+		}
+	}
+
+	// Quiesce: no more writes; the follower must reach the primary watermark.
+	f.caughtUpTo(seq, 30*time.Second)
+	waitFor(t, 10*time.Second, "follower context to match primary",
+		func() bool { return f.srv.ContextSize() == p.srv.ContextSize() })
+
+	// The chaos actually bit: the first transport saw cut connections.
+	if fd.Dials() == 0 {
+		t.Fatal("fault injector never saw a dial")
+	}
+	if f.srv.Epoch() != p.srv.Epoch() {
+		t.Fatalf("epochs diverged: follower %q, primary %q", f.srv.Epoch(), p.srv.Epoch())
+	}
+
+	// Differential check over the full instance/label space: a caught-up
+	// follower is indistinguishable from its primary, byte for byte.
+	assertConverged(t, p.URL(), furl, schema, probes)
+
+	// A caught-up, quiesced follower must answer a generous bound for any
+	// probe the primary itself can answer (some probes legitimately have no
+	// α-conformant key — 409 on both sides).
+	var answerable *feature.Labeled
+	for i := range probes {
+		if _, status := explainOn(t, p.URL(), schema, probes[i], 0); status == http.StatusOK {
+			answerable = &probes[i]
+			break
+		}
+	}
+	if answerable == nil {
+		t.Fatal("no probe has a key on the primary; the differential check was vacuous")
+	}
+	waitFor(t, 5*time.Second, "bounded reads to pass after quiesce", func() bool {
+		return probeStaleness(t, furl, schema, *answerable, 10_000)
+	})
+	t.Logf("chaos run: %d bounded reads answered mid-storm, %d dials on first transport, %d reconnects, %d snapshot catch-ups",
+		answered, fd.Dials(), f.fol.Reconnects(), f.fol.SnapshotCatchups())
+}
+
+// TestChaosEveryConnectionCut drives the follower through a schedule where
+// every early connection is torn at a small exact offset: CRC validation must
+// discard every half-shipped record and the watermark cursor must make the
+// retries exact, so the follower still converges without ever applying a
+// corrupt or duplicate row.
+func TestChaosEveryConnectionCut(t *testing.T) {
+	schema := testSchema(t)
+	p := newTestPrimary(t, t.TempDir(), primaryOpts{snapshotEvery: 100})
+	rows := testRows(201, 20, schema)
+	p.warm(rows)
+
+	cuts := make([]int64, 12)
+	for i := range cuts {
+		cuts[i] = int64(40 + 37*i) // every stream torn mid-line, offsets staggered
+	}
+	fd := &faultinject.FlakyDialer{Inj: faultinject.New(7), Cuts: cuts}
+	client := &http.Client{Transport: &http.Transport{
+		DialContext:       fd.DialContext,
+		DisableKeepAlives: true,
+	}}
+	f := startFollower(t, t.TempDir(), p.URL(), client)
+	f.caughtUpTo(20, 30*time.Second)
+
+	if f.srv.ContextSize() != p.srv.ContextSize() {
+		t.Fatalf("follower holds %d rows, primary %d", f.srv.ContextSize(), p.srv.ContextSize())
+	}
+	if fd.Dials() <= len(cuts) {
+		t.Fatalf("only %d dials: the cut schedule was not exhausted", fd.Dials())
+	}
+	assertConverged(t, p.URL(), serveFollower(t, f), schema, allProbes(schema))
+}

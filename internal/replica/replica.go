@@ -1,0 +1,113 @@
+// Package replica implements WAL-shipping replication for the CCE service
+// (DESIGN.md §14): a primary hub streams durable observation records over
+// /replicate in the on-disk WAL framing (newline JSON + CRC32), and a
+// follower tails the stream, applies rows into its own context through the
+// incremental path, and serves stale-bounded /explain reads. The follower
+// survives everything the chaos suite throws at it — mid-record stream cuts,
+// flaky dials, primary restarts, its own crashes — by reconnecting with the
+// shared backoff policy, fencing streams on the primary's epoch, and falling
+// back to snapshot catch-up when the WAL tail is gone.
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/xai-db/relativekeys/internal/persist"
+)
+
+// Protocol headers. EpochHeader carries the primary's boot identity on every
+// /replicate and /snapshot response, so a follower can fence state from a
+// previous primary life. SeqHeader carries the primary's durable watermark on
+// snapshot responses.
+const (
+	EpochHeader = "X-RK-Epoch"
+	SeqHeader   = "X-RK-Seq"
+)
+
+// heartbeat is the non-record stream line: the primary's current durable
+// watermark plus its epoch, sent at connect (the handshake) and periodically
+// so a caught-up follower can keep proving its freshness while no
+// observations arrive. Record lines have no "hb" field, so the receiver can
+// pick the envelope apart before CRC-validating records.
+type heartbeat struct {
+	HB    bool   `json:"hb"`
+	Seq   uint64 `json:"seq"`
+	Epoch string `json:"epoch"`
+}
+
+// encodeHeartbeat renders one heartbeat line.
+func encodeHeartbeat(seq uint64, epoch string) ([]byte, error) {
+	b, err := json.Marshal(heartbeat{HB: true, Seq: seq, Epoch: epoch})
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// epochFileName persists the primary's boot counter in its state dir; the
+// follower persists the last primary epoch it installed under the same name.
+const epochFileName = "epoch"
+
+// NextEpoch mints the primary's boot identity: a counter in the state dir,
+// atomically bumped every start. Any restart therefore changes the epoch,
+// which is what lets followers detect that the WAL they were tailing may
+// have a different history (a torn tail dropped on recovery) and re-anchor
+// on a snapshot instead of silently diverging.
+func NextEpoch(stateDir string) (string, error) {
+	path := filepath.Join(stateDir, epochFileName)
+	var n uint64
+	b, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		v, perr := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+		if perr != nil {
+			return "", fmt.Errorf("replica: epoch file %s: %w", path, perr)
+		}
+		n = v
+	case os.IsNotExist(err):
+		// First boot of this state dir.
+	default:
+		return "", err
+	}
+	n++
+	err = persist.WriteFileAtomic(path, func(w io.Writer) error {
+		_, werr := fmt.Fprintf(w, "%d\n", n)
+		return werr
+	})
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("e%d", n), nil
+}
+
+// LoadEpoch reads the epoch recorded in a state dir; "" on first boot.
+func LoadEpoch(stateDir string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(stateDir, epochFileName))
+	if os.IsNotExist(err) {
+		return "", nil
+	}
+	if err != nil {
+		return "", err
+	}
+	s := strings.TrimSpace(string(b))
+	if s == "" {
+		return "", nil
+	}
+	return s, nil
+}
+
+// SaveEpoch atomically records epoch in a state dir — the follower's fencing
+// watermark, written after every epoch-changing snapshot install so a
+// restarted follower knows which primary life its snapshot mirrors.
+func SaveEpoch(stateDir, epoch string) error {
+	return persist.WriteFileAtomic(filepath.Join(stateDir, epochFileName), func(w io.Writer) error {
+		_, err := io.WriteString(w, epoch+"\n")
+		return err
+	})
+}

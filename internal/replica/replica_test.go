@@ -1,0 +1,391 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/xai-db/relativekeys/internal/backoff"
+	"github.com/xai-db/relativekeys/internal/feature"
+	"github.com/xai-db/relativekeys/internal/service"
+)
+
+// ---- shared fixtures -------------------------------------------------------
+
+func testSchema(t *testing.T) *feature.Schema {
+	t.Helper()
+	return feature.MustSchema([]feature.Attribute{
+		{Name: "Income", Values: []string{"1-2K", "3-4K", "5-6K"}},
+		{Name: "Credit", Values: []string{"poor", "good"}},
+		{Name: "Area", Values: []string{"Urban", "Rural"}},
+	}, []string{"Denied", "Approved"})
+}
+
+// testRows generates a deterministic labeled stream for a schema: the same
+// seed always yields the same rows, so primary and follower histories can be
+// compared byte for byte.
+func testRows(seed int64, n int, s *feature.Schema) []feature.Labeled {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]feature.Labeled, 0, n)
+	for i := 0; i < n; i++ {
+		x := make(feature.Instance, len(s.Attrs))
+		for j, a := range s.Attrs {
+			x[j] = feature.Value(rng.Intn(len(a.Values)))
+		}
+		rows = append(rows, feature.Labeled{X: x, Y: feature.Label(rng.Intn(len(s.Labels)))})
+	}
+	return rows
+}
+
+func valuesOf(s *feature.Schema, x feature.Instance) map[string]string {
+	m := make(map[string]string, len(s.Attrs))
+	for i, a := range s.Attrs {
+		m[a.Name] = a.Values[x[i]]
+	}
+	return m
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", d, what)
+}
+
+// fastBackoff keeps chaos loops tight: real sleeps, but bounded at 10ms.
+func fastBackoff() backoff.Policy {
+	return backoff.Policy{Base: time.Millisecond, Max: 10 * time.Millisecond}
+}
+
+// ---- primary harness -------------------------------------------------------
+
+// testPrimary is a restartable primary: server + hub behind one listener whose
+// address survives restarts, so a follower pointed at URL() experiences a real
+// process restart (connections die, epoch bumps) when stop/start is called.
+type testPrimary struct {
+	t      *testing.T
+	dir    string
+	addr   string
+	schema *feature.Schema
+
+	srv   *service.Server
+	hub   *Hub
+	hsrv  *http.Server
+	alive bool
+}
+
+type primaryOpts struct {
+	snapshotEvery int
+	compactWAL    bool
+}
+
+func newTestPrimary(t *testing.T, dir string, opts primaryOpts) *testPrimary {
+	t.Helper()
+	p := &testPrimary{t: t, dir: dir, schema: testSchema(t)}
+	p.start(opts)
+	t.Cleanup(p.stopIfAlive)
+	return p
+}
+
+// start boots a primary life: a fresh epoch, a fresh server recovered from the
+// state dir, and a listener on the (stable) address. Mirrors cmd/cceserver
+// wiring: the hub reads the server through closures, and is mounted on the
+// root mux outside the service middleware.
+func (p *testPrimary) start(opts primaryOpts) {
+	p.t.Helper()
+	if err := os.MkdirAll(p.dir, 0o755); err != nil {
+		p.t.Fatal(err)
+	}
+	epoch, err := NextEpoch(p.dir)
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	var srv *service.Server
+	hub := NewHub(HubConfig{
+		Epoch: epoch,
+		Seq:   func() uint64 { return srv.Seq() },
+		Base:  func() uint64 { return srv.WALBase() },
+		OpenWAL: func() (io.ReadCloser, error) {
+			path := srv.WALPath()
+			if path == "" {
+				return nil, nil
+			}
+			f, oerr := os.Open(path)
+			if errors.Is(oerr, fs.ErrNotExist) {
+				return nil, nil
+			}
+			return f, oerr
+		},
+		WriteSnapshot:  func(w io.Writer) error { return srv.WriteSnapshotTo(w) },
+		HeartbeatEvery: 10 * time.Millisecond,
+	})
+	srv, err = service.NewServer(service.Config{
+		Schema:        p.schema,
+		Alpha:         1.0,
+		StateDir:      p.dir,
+		SnapshotEvery: opts.snapshotEvery,
+		CompactWAL:    opts.compactWAL,
+		Epoch:         epoch,
+		OnReplicate:   hub.Publish,
+	})
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	addr := p.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var ln net.Listener
+	// After a restart the previous listener has just closed; the kernel can
+	// take a moment to hand the port back even with SO_REUSEADDR.
+	for i := 0; ; i++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if i >= 200 {
+			p.t.Fatalf("relisten on %s: %v", addr, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	p.addr = ln.Addr().String()
+
+	mux := http.NewServeMux()
+	hub.Mount(mux)
+	mux.Handle("/", srv.Handler())
+	hsrv := &http.Server{Handler: mux}
+	go hsrv.Serve(ln) //rkvet:ignore dropperr Serve always returns ErrServerClosed on shutdown
+	p.srv, p.hub, p.hsrv, p.alive = srv, hub, hsrv, true
+}
+
+func (p *testPrimary) URL() string { return "http://" + p.addr }
+
+// stop kills the primary: listener and every open replication stream die, the
+// server closes cleanly (final snapshot + WAL sync).
+func (p *testPrimary) stop() {
+	p.t.Helper()
+	if err := p.hsrv.Close(); err != nil {
+		p.t.Fatalf("primary http close: %v", err)
+	}
+	if err := p.srv.Close(); err != nil {
+		p.t.Fatalf("primary close: %v", err)
+	}
+	p.alive = false
+}
+
+func (p *testPrimary) stopIfAlive() {
+	if p.alive {
+		p.stop()
+	}
+}
+
+// restart is a full primary crash/recover cycle: epoch bumps, state recovers
+// from disk, the address stays put.
+func (p *testPrimary) restart(opts primaryOpts) {
+	p.t.Helper()
+	p.stop()
+	p.start(opts)
+}
+
+func (p *testPrimary) warm(rows []feature.Labeled) {
+	p.t.Helper()
+	if _, err := p.srv.Warm(rows); err != nil {
+		p.t.Fatal(err)
+	}
+}
+
+// ---- follower harness ------------------------------------------------------
+
+// testFollower is a crash-restartable follower: a follower-mode server plus
+// the tailer goroutine, both anchored on one state dir.
+type testFollower struct {
+	t   *testing.T
+	dir string
+
+	srv    *service.Server
+	fol    *Follower
+	cancel context.CancelFunc
+	done   chan error
+}
+
+func startFollower(t *testing.T, dir, primaryURL string, client *http.Client) *testFollower {
+	t.Helper()
+	srv, err := service.NewServer(service.Config{
+		Schema:        testSchema(t),
+		Alpha:         1.0,
+		Follower:      true,
+		StateDir:      dir,
+		SnapshotEvery: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fol, err := NewFollower(Config{
+		PrimaryURL: primaryURL,
+		HTTP:       client,
+		Backoff:    fastBackoff(),
+		StateDir:   dir,
+	}, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- fol.Run(ctx) }()
+	f := &testFollower{t: t, dir: dir, srv: srv, fol: fol, cancel: cancel, done: done}
+	t.Cleanup(f.stopIfRunning)
+	return f
+}
+
+// stop cancels the tail loop and waits it out. The server stays usable for
+// assertions; crash/restart tests just start a new follower on the same dir.
+func (f *testFollower) stop() {
+	f.t.Helper()
+	f.cancel()
+	select {
+	case err := <-f.done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			f.t.Fatalf("follower run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		f.t.Fatal("follower did not stop")
+	}
+	f.done = nil
+}
+
+func (f *testFollower) stopIfRunning() {
+	if f.done != nil {
+		f.stop()
+	}
+}
+
+// serveFollower exposes the follower server over HTTP for probe requests and
+// returns its base URL.
+func serveFollower(t *testing.T, f *testFollower) string {
+	t.Helper()
+	ts := httptest.NewServer(f.srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// caughtUpTo waits until the follower has applied through seq.
+func (f *testFollower) caughtUpTo(seq uint64, d time.Duration) {
+	f.t.Helper()
+	waitFor(f.t, d, fmt.Sprintf("follower to reach seq %d (at %d)", seq, f.srv.Seq()),
+		func() bool { return f.srv.Seq() >= seq })
+}
+
+// ---- differential probes ---------------------------------------------------
+
+// explainOn posts an explain and returns the decoded response and status.
+func explainOn(t *testing.T, baseURL string, schema *feature.Schema, li feature.Labeled, maxStaleMS int64) (service.ExplainResponse, int) {
+	t.Helper()
+	body, err := json.Marshal(service.ExplainRequest{
+		Values:     valuesOf(schema, li.X),
+		Prediction: schema.Labels[li.Y],
+		// Probe below the server default: random test streams rarely admit
+		// α=1.0 keys, and a probe that always answers ErrNoKey would make
+		// the differential comparison vacuous.
+		Alpha:          0.6,
+		MaxStalenessMS: maxStaleMS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/explain", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("explain %s: %v", baseURL, err)
+	}
+	defer resp.Body.Close() //rkvet:ignore dropperr test response close
+	var er service.ExplainResponse
+	if resp.StatusCode == http.StatusOK {
+		if derr := json.NewDecoder(resp.Body).Decode(&er); derr != nil {
+			t.Fatal(derr)
+		}
+	}
+	return er, resp.StatusCode
+}
+
+// normalizedExplanation strips the replica-only fields and serializes what
+// remains, so primary and follower answers can be compared byte for byte.
+func normalizedExplanation(t *testing.T, er service.ExplainResponse) []byte {
+	t.Helper()
+	er.ReplicaSeq = nil
+	er.StalenessMS = nil
+	b, err := json.Marshal(er)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// assertConverged asserts the follower serves byte-identical explanations to
+// the primary for every probe — the replication correctness contract.
+func assertConverged(t *testing.T, primaryURL, followerURL string, schema *feature.Schema, probes []feature.Labeled) {
+	t.Helper()
+	for i, li := range probes {
+		pr, pst := explainOn(t, primaryURL, schema, li, 0)
+		fr, fst := explainOn(t, followerURL, schema, li, 0)
+		if pst != fst {
+			t.Fatalf("probe %d: primary answered %d, follower %d", i, pst, fst)
+		}
+		if pst != http.StatusOK {
+			continue
+		}
+		pb, fb := normalizedExplanation(t, pr), normalizedExplanation(t, fr)
+		if !bytes.Equal(pb, fb) {
+			t.Fatalf("probe %d diverged:\n  primary:  %s\n  follower: %s", i, pb, fb)
+		}
+	}
+}
+
+// ---- epoch unit tests ------------------------------------------------------
+
+func TestNextEpochMonotonic(t *testing.T) {
+	dir := t.TempDir()
+	e1, err := NextEpoch(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NextEpoch(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != "e1" || e2 != "e2" {
+		t.Fatalf("epochs = %q, %q, want e1, e2", e1, e2)
+	}
+}
+
+func TestEpochSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if e, err := LoadEpoch(dir); err != nil || e != "" {
+		t.Fatalf("first boot epoch = %q, %v, want empty", e, err)
+	}
+	if err := SaveEpoch(dir, "e7"); err != nil {
+		t.Fatal(err)
+	}
+	e, err := LoadEpoch(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != "e7" {
+		t.Fatalf("loaded epoch = %q, want e7", e)
+	}
+}

@@ -5,10 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"strconv"
 	"time"
+
+	"github.com/xai-db/relativekeys/internal/backoff"
 )
 
 // Client is a typed HTTP client for a CCE service. It retries transient
@@ -62,6 +63,20 @@ func (c *Client) Explain(values map[string]string, prediction string, alpha floa
 func (c *Client) ExplainDeadline(values map[string]string, prediction string, alpha float64, deadline time.Duration) (*ExplainResponse, error) {
 	var out ExplainResponse
 	req := ExplainRequest{Values: values, Prediction: prediction, Alpha: alpha, DeadlineMS: deadline.Milliseconds()}
+	if err := c.post("/explain", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ExplainStale is Explain with a staleness bound, for read replicas: a
+// follower whose applied state is older than maxStaleness sheds the request
+// (503 + Retry-After) instead of answering from it, and the client's retry
+// gives the follower time to catch up. On a primary the bound is trivially
+// met.
+func (c *Client) ExplainStale(values map[string]string, prediction string, alpha float64, maxStaleness time.Duration) (*ExplainResponse, error) {
+	var out ExplainResponse
+	req := ExplainRequest{Values: values, Prediction: prediction, Alpha: alpha, MaxStalenessMS: maxStaleness.Milliseconds()}
 	if err := c.post("/explain", req, &out); err != nil {
 		return nil, err
 	}
@@ -129,35 +144,18 @@ func retryableStatus(code int) bool {
 }
 
 // backoff sleeps for min(MaxDelay, BaseDelay·2^attempt) with jitter, never
-// less than the server's Retry-After hint.
+// less than the server's Retry-After hint. The policy itself lives in
+// internal/backoff so the replication follower reconnects with exactly the
+// client's curve.
 func (c *Client) backoff(attempt int, retryAfter time.Duration) {
-	base, max := c.BaseDelay, c.MaxDelay
-	if base <= 0 {
-		base = 50 * time.Millisecond
-	}
-	if max <= 0 {
-		max = 2 * time.Second
-	}
-	if attempt > 30 {
-		attempt = 30 // the shift below must not overflow
-	}
-	d := base << uint(attempt)
-	if d <= 0 || d > max {
-		d = max
-	}
-	if c.jitter != nil {
-		d = c.jitter(d)
-	} else if d > 1 {
-		d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
-	}
-	if retryAfter > d {
-		d = retryAfter
-	}
-	if c.sleep != nil {
-		c.sleep(d)
-		return
-	}
-	time.Sleep(d)
+	p := backoff.Policy{Base: c.BaseDelay, Max: c.MaxDelay, Jitter: c.jitter, Sleep: c.sleep}
+	p.SleepFor(attempt, retryAfter)
+}
+
+// Policy exposes the client's retry policy (for callers that need the delay
+// computation without a Client, e.g. tests asserting shed Retry-After floors).
+func (c *Client) Policy() backoff.Policy {
+	return backoff.Policy{Base: c.BaseDelay, Max: c.MaxDelay, Jitter: c.jitter, Sleep: c.sleep}
 }
 
 // parseRetryAfter reads the integer-seconds form of Retry-After; 0 when

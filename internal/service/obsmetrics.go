@@ -18,11 +18,12 @@ var (
 		"Requests currently being served.")
 
 	shedReasons = obs.NewCounterVec("rk_shed_total",
-		"Requests refused by admission control, by reason: overload (429), deadline_floor and draining (503).",
+		"Requests refused by admission control, by reason: overload (429); deadline_floor, draining and stale (503).",
 		"reason")
 	shedOverload      = shedReasons.With("overload")
 	shedDeadlineFloor = shedReasons.With("deadline_floor")
 	shedDraining      = shedReasons.With("draining")
+	shedStale         = shedReasons.With("stale")
 
 	explainDegraded = obs.NewCounter("rk_explain_degraded_total",
 		"Explains answered with a deadline-degraded (valid but less succinct) key.")

@@ -77,6 +77,20 @@ type Config struct {
 	SnapshotEvery int          // observations per snapshot; 0 = 256
 	WALSyncEvery  int          // appends per fsync; 0 = 1 (sync every append)
 
+	// Replication (DESIGN.md §14). Follower turns the server into a read
+	// replica: /observe answers 403, rows arrive only via ApplyReplicated /
+	// InstallSnapshot, and /explain honours the request's max_staleness_ms
+	// bound. Epoch is the primary boot identity served to followers so a
+	// restarted primary fences streams from its previous life. OnReplicate,
+	// set on a primary, is called under the state lock after each observation
+	// is durable — the replication hub's publish hook. CompactWAL truncates
+	// the log after each successful snapshot (followers lagging past the
+	// truncation point fall back to snapshot catch-up).
+	Follower    bool
+	Epoch       string
+	OnReplicate func(seq uint64, li feature.Labeled)
+	CompactWAL  bool
+
 	Tracer *obs.Tracer // nil = no request sampling
 	Logger *obs.Logger // nil = silent
 }
@@ -115,6 +129,16 @@ type Server struct {
 	sinceSnapshot int          // guarded by mu
 	sinceSync     int          // guarded by mu
 	closed        bool         // guarded by mu; true once Close began
+
+	// Replication state (DESIGN.md §14).
+	follower    bool
+	compactWAL  bool
+	walPath     string                                 // "" = no on-disk log
+	epoch       string                                 // guarded by mu; primary boot identity
+	walBase     uint64                                 // guarded by mu; highest seq NOT in the log (compaction watermark)
+	onReplicate func(seq uint64, li feature.Labeled)   // called under mu after each durable observe
+	primarySeq  atomic.Uint64                          // follower: latest seq the primary has advertised
+	lastSync    atomic.Int64                           // follower: unix nanos of the last provably caught-up moment; 0 = never
 
 	degradedTotal   atomic.Int64
 	shedTotal       atomic.Int64
@@ -174,6 +198,10 @@ func NewServer(cfg Config) (*Server, error) {
 		snapshotEvery:   cfg.SnapshotEvery,
 		walSyncEvery:    cfg.WALSyncEvery,
 		ctx:             ctx,
+		follower:        cfg.Follower,
+		compactWAL:      cfg.CompactWAL,
+		epoch:           cfg.Epoch,
+		onReplicate:     cfg.OnReplicate,
 		tracer:          cfg.Tracer,
 		logger:          cfg.Logger,
 		start:           time.Now(),
@@ -206,12 +234,17 @@ func NewServer(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.snapPath = filepath.Join(cfg.StateDir, snapshotFileName)
-		walPath := filepath.Join(cfg.StateDir, walFileName)
-		if err := s.recoverLocked(walPath); err != nil {
+		if !s.follower {
+			s.walPath = filepath.Join(cfg.StateDir, walFileName)
+		}
+		if err := s.recoverLocked(s.walPath); err != nil {
 			return nil, err
 		}
-		if cfg.WAL == nil {
-			w, err := persist.OpenWAL(walPath)
+		// A follower writes no log of its own: the primary's WAL is the log,
+		// and the follower's periodic snapshots (rows + seq watermark in one
+		// atomic file) are its durable resume point.
+		if cfg.WAL == nil && !s.follower {
+			w, err := persist.OpenWAL(s.walPath)
 			if err != nil {
 				return nil, err
 			}
@@ -251,10 +284,18 @@ func (s *Server) recoverLocked(walPath string) error {
 	default:
 		return err
 	}
-	_, _, err = persist.ReplayWALFile(walPath, func(seq uint64, li feature.Labeled) error {
-		if seq <= s.seq {
-			return nil // already covered by the snapshot
-		}
+	if walPath == "" {
+		return nil
+	}
+	// With compaction on, records at or below the snapshot watermark may have
+	// been truncated away in a previous life; advertise the snapshot seq as
+	// the replication base so a follower asking for history below it is sent
+	// to snapshot catch-up instead of silently missing rows. Without a
+	// snapshot the log is complete from zero.
+	if s.compactWAL {
+		s.walBase = s.seq
+	}
+	res, err := persist.ReplayWALFileFrom(walPath, s.seq, func(seq uint64, li feature.Labeled) error {
 		//rkvet:ignore ctxflow WAL replay runs inside NewServer before any request exists; a torn replay would lose acknowledged observations
 		slot, err := s.admitLocked(context.Background(), li)
 		if err != nil {
@@ -264,7 +305,19 @@ func (s *Server) recoverLocked(walPath string) error {
 		s.seq = seq
 		return nil
 	})
-	return err
+	if err != nil {
+		return err
+	}
+	if res.Torn {
+		// Drop the torn tail from the file, not just from memory: the log is
+		// reopened O_APPEND, so without this a fresh record would land after
+		// the garbage line and the *next* recovery would stop short of it —
+		// silently losing an acknowledged observation on the second crash.
+		if terr := os.Truncate(walPath, res.Offset); terr != nil {
+			return fmt.Errorf("service: dropping torn wal tail: %w", terr)
+		}
+	}
+	return nil
 }
 
 // admitLocked adds one instance to the context and the drift monitor as a
@@ -353,6 +406,11 @@ func (s *Server) observeLocked(ctx context.Context, li feature.Labeled) error {
 		}
 	}
 	s.seq++
+	if s.onReplicate != nil {
+		// Publish only after the record is durable in the log: a follower
+		// must never apply a row its primary could forget in a crash.
+		s.onReplicate(s.seq, li)
+	}
 	s.commitLocked(slot)
 	s.sinceSnapshot++
 	if s.snapPath != "" && s.sinceSnapshot >= s.snapshotEvery {
@@ -363,6 +421,14 @@ func (s *Server) observeLocked(ctx context.Context, li feature.Labeled) error {
 			s.snapFailures.Add(1)
 			snapshotFailures.Inc()
 			s.logger.Warn("periodic snapshot failed", "err", err)
+		} else if s.compactWAL && s.wal != nil {
+			// The snapshot covers every logged record, so the log can start
+			// over; followers below the new base catch up from the snapshot.
+			if err := s.wal.Truncate(); err != nil {
+				s.logger.Warn("wal compaction failed", "err", err)
+			} else {
+				s.walBase = s.seq
+			}
 		}
 	}
 	return nil
@@ -449,6 +515,9 @@ func (s *Server) Warm(items []feature.Labeled) (int, error) {
 func (s *Server) WarmCtx(ctx context.Context, items []feature.Labeled) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.follower {
+		return 0, errors.New("service: a read replica warms from its primary, not from local data")
+	}
 	for i, li := range items {
 		if err := s.observeLocked(ctx, li); err != nil {
 			return i, err
@@ -538,24 +607,33 @@ type ObserveRequest struct {
 
 // ExplainRequest asks for the relative key of an observed instance. Alpha
 // optionally overrides the server default; DeadlineMS optionally overrides
-// the server's default solve deadline (milliseconds).
+// the server's default solve deadline (milliseconds). MaxStalenessMS is the
+// replica staleness bound: a follower whose applied state is older sheds the
+// request (503 + Retry-After) instead of answering from it; 0 means any
+// staleness is acceptable.
 type ExplainRequest struct {
-	Values     map[string]string `json:"values"`
-	Prediction string            `json:"prediction"`
-	Alpha      float64           `json:"alpha,omitempty"`
-	DeadlineMS int64             `json:"deadline_ms,omitempty"`
+	Values         map[string]string `json:"values"`
+	Prediction     string            `json:"prediction"`
+	Alpha          float64           `json:"alpha,omitempty"`
+	DeadlineMS     int64             `json:"deadline_ms,omitempty"`
+	MaxStalenessMS int64             `json:"max_staleness_ms,omitempty"`
 }
 
 // ExplainResponse carries the explanation. Degraded marks a key completed
 // under an expired deadline: still α-conformant, but possibly larger than
-// the greedy key.
+// the greedy key. On a follower every response also carries the staleness
+// contract: ReplicaSeq is the observation the answer's context is current
+// through, StalenessMS how long ago the follower was provably caught up
+// (-1 = never yet synced; only possible when no bound was requested).
 type ExplainResponse struct {
-	Features  []string `json:"features"`
-	Rule      string   `json:"rule"`
-	Precision float64  `json:"precision"`
-	Coverage  int      `json:"coverage"`
-	Context   int      `json:"context_size"`
-	Degraded  bool     `json:"degraded,omitempty"`
+	Features    []string `json:"features"`
+	Rule        string   `json:"rule"`
+	Precision   float64  `json:"precision"`
+	Coverage    int      `json:"coverage"`
+	Context     int      `json:"context_size"`
+	Degraded    bool     `json:"degraded,omitempty"`
+	ReplicaSeq  *uint64  `json:"replica_seq,omitempty"`
+	StalenessMS *int64   `json:"staleness_ms,omitempty"`
 }
 
 // StatsResponse summarizes the service state.
@@ -576,6 +654,15 @@ type StatsResponse struct {
 	RollbacksWAL     int64   `json:"observe_rollbacks_wal,omitempty"`
 	Seq              uint64  `json:"seq,omitempty"`
 	PersistenceOn    bool    `json:"persistence_active,omitempty"`
+
+	// Replication state (DESIGN.md §14). Role is always present; the lag
+	// fields are meaningful on a follower (StalenessMS -1 = never synced).
+	Role        string `json:"role"`
+	Epoch       string `json:"epoch,omitempty"`
+	AppliedSeq  uint64 `json:"applied_seq,omitempty"`
+	PrimarySeq  uint64 `json:"primary_seq,omitempty"`
+	LagEntries  int64  `json:"replica_lag_entries,omitempty"`
+	StalenessMS int64  `json:"staleness_ms,omitempty"`
 }
 
 // HealthResponse is the /healthz body: liveness plus the failure counters an
@@ -591,6 +678,14 @@ type HealthResponse struct {
 	SyncFailures     int64  `json:"wal_sync_failures"`
 	SnapshotFailures int64  `json:"snapshot_failures"`
 	PanicsRecovered  int64  `json:"panics_recovered"`
+
+	// Replication state (DESIGN.md §14): the first things an operator checks
+	// on a replica — what it is, which primary life it follows, how far along.
+	Role        string `json:"role"`
+	Epoch       string `json:"epoch,omitempty"`
+	AppliedSeq  uint64 `json:"applied_seq"`
+	LagEntries  int64  `json:"replica_lag_entries,omitempty"`
+	StalenessMS int64  `json:"staleness_ms,omitempty"`
 }
 
 // monitorError marks drift-monitor failures (server-side, 500) so the
@@ -632,6 +727,12 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.follower {
+		// A replica's context mirrors its primary; accepting writes here
+		// would fork the history. Clients must observe against the primary.
+		http.Error(w, "read replica: /observe is served by the primary", http.StatusForbidden)
 		return
 	}
 	var req ObserveRequest
@@ -705,6 +806,21 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		unavailable(w, fmt.Sprintf("deadline %v below the service floor %v", deadline, s.minDeadline))
 		return
 	}
+	if req.MaxStalenessMS < 0 {
+		http.Error(w, "max_staleness_ms must be ≥ 0", http.StatusBadRequest)
+		return
+	}
+	// The staleness contract, checked before spending solve work: a follower
+	// that cannot meet the bound sheds now so the client's retry (with the
+	// Retry-After backoff) lands after catch-up. A primary is never stale.
+	if s.follower && req.MaxStalenessMS > 0 {
+		if stale := s.StalenessMS(); stale < 0 || stale > req.MaxStalenessMS {
+			s.shedTotal.Add(1)
+			shedStale.Inc()
+			unavailable(w, fmt.Sprintf("replica staleness %dms exceeds the requested bound %dms", stale, req.MaxStalenessMS))
+			return
+		}
+	}
 	if s.sem != nil {
 		select {
 		case s.sem <- struct{}{}:
@@ -753,6 +869,22 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	for _, a := range key {
 		resp.Features = append(resp.Features, s.schema.Attrs[a].Name)
 	}
+	if s.follower {
+		// Re-check the bound after the solve: a long solve (or a stream that
+		// died mid-request) must not convert an in-bound admission into an
+		// out-of-bound answer. The response always states what it is current
+		// through, bound requested or not.
+		seq, stale := s.seq, s.StalenessMS()
+		if req.MaxStalenessMS > 0 && (stale < 0 || stale > req.MaxStalenessMS) {
+			s.shedTotal.Add(1)
+			shedStale.Inc()
+			unavailable(w, fmt.Sprintf("replica staleness %dms exceeds the requested bound %dms", stale, req.MaxStalenessMS))
+			return
+		}
+		resp.ReplicaSeq, resp.StalenessMS = &seq, &stale
+		w.Header().Set("X-RK-Replica-Seq", strconv.FormatUint(seq, 10))
+		w.Header().Set("X-RK-Staleness-MS", strconv.FormatInt(stale, 10))
+	}
 	writeJSON(w, resp)
 }
 
@@ -777,6 +909,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RollbacksWAL:     s.walRollbacks.Load(),
 		Seq:              s.seq,
 		PersistenceOn:    s.wal != nil || s.snapPath != "",
+		Role:             s.roleLocked(),
+		Epoch:            s.epoch,
+	}
+	if s.follower {
+		resp.AppliedSeq = s.seq
+		resp.PrimarySeq = s.primarySeq.Load()
+		resp.LagEntries = s.lagEntriesLocked()
+		resp.StalenessMS = s.StalenessMS()
 	}
 	if s.monitor != nil {
 		resp.MonitoringActive = true
@@ -797,7 +937,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.closed {
 		status = "draining"
 	}
-	writeJSON(w, HealthResponse{
+	resp := HealthResponse{
 		Status:           status,
 		UptimeSeconds:    int64(time.Since(s.start).Seconds()),
 		ContextSize:      s.ctx.Len(),
@@ -807,7 +947,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		SyncFailures:     s.syncFailures.Load(),
 		SnapshotFailures: s.snapFailures.Load(),
 		PanicsRecovered:  s.panicsRecovered.Load(),
-	})
+		Role:             s.roleLocked(),
+		Epoch:            s.epoch,
+		AppliedSeq:       s.seq,
+	}
+	if s.follower {
+		resp.LagEntries = s.lagEntriesLocked()
+		resp.StalenessMS = s.StalenessMS()
+	}
+	writeJSON(w, resp)
 }
 
 // decode converts a name→value map and label string into a labeled instance.
