@@ -5,7 +5,7 @@ GO ?= go
 # One ~10s native-fuzz burst per target; see fuzz-smoke.
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet lint lint-fast lint-deep race bench bench-json bench-json-smoke bench-gate tier1 fuzz-smoke chaos-smoke replica-chaos-smoke obs-smoke ci
+.PHONY: all build test vet lint lint-fast lint-deep race bench bench-json bench-json-smoke bench-gate tier1 fuzz-smoke chaos-smoke replica-chaos-smoke obs-smoke loadgen-smoke ci
 
 # Committed perf baseline the bench gate compares against (see bench-gate).
 BENCH_BASELINE ?= BENCH_2026-08-07.json
@@ -78,10 +78,19 @@ bench-gate:
 obs-smoke:
 	$(GO) run ./cmd/obssmoke
 
+# End-to-end load-generator gate: build cceserver and ccebench, boot the
+# server with the explanation cache on, run a duplicate-heavy ccebench pass
+# plus forced coalescing bursts, and assert the cache-hit and coalesced
+# counters moved in /stats and /metrics. The ccebench JSON artifact lands in
+# $TMPDIR for CI to upload.
+loadgen-smoke:
+	$(GO) run ./cmd/loadgensmoke -artifact $${TMPDIR:-/tmp}/ccebench-smoke.json
+
 # Short native-fuzz burst per target, on top of the committed seed corpora
 # (testdata/fuzz/): bitset vs naive model, bucketing round-trips, incremental
-# context vs rebuilt, SAT solver vs its own CNF. go test -fuzz accepts one
-# target per invocation, hence the fan-out.
+# context vs rebuilt, SAT solver vs its own CNF, explanation-cache key
+# canonical form. go test -fuzz accepts one target per invocation, hence the
+# fan-out.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzSetOps          -fuzztime=$(FUZZTIME) ./internal/bitset/
 	$(GO) test -run=NONE -fuzz=FuzzStripedCard     -fuzztime=$(FUZZTIME) ./internal/bitset/
@@ -90,15 +99,18 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzContextRemoveAdd -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -run=NONE -fuzz=FuzzLazyGreedy      -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -run=NONE -fuzz=FuzzSolver          -fuzztime=$(FUZZTIME) ./internal/sat/
+	$(GO) test -run=NONE -fuzz=FuzzCacheKey        -fuzztime=$(FUZZTIME) ./internal/service/
 
 # The fault-injection suite under the race detector: deadline degradation,
 # crash recovery from torn logs, load shedding, panic survival, the
-# concurrent rollback invariant, and the striped-solver stress/chaos tests
+# concurrent rollback invariant, the striped-solver stress/chaos tests
 # (parallel solves racing window advances, injector-timed mid-round
-# cancellation), all with injected solver/monitor/log faults
-# (internal/faultinject). -short keeps the request volume CI-sized.
+# cancellation), and the request-plane suites — coalescing under injected
+# solver panics/errors, cache differential + degraded serve rules, and job
+# resume from torn checkpoint logs — all with injected solver/monitor/log
+# faults (internal/faultinject). -short keeps the request volume CI-sized.
 chaos-smoke:
-	$(GO) test -race -short -run 'Chaos|Robust|Recovery|Degrade|Shed|Panic|Torn|Deadline|Closed|ParallelStress' \
+	$(GO) test -race -short -run 'Chaos|Robust|Recovery|Degrade|Shed|Panic|Torn|Deadline|Closed|ParallelStress|Coalesce|Job|Cache' \
 		./internal/service/ ./internal/faultinject/ ./internal/persist/ ./internal/cce/
 
 # The replication failover suite under the race detector (DESIGN.md §14):

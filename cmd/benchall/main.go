@@ -161,11 +161,15 @@ func runGate(baselinePath, outPath string) (bool, error) {
 	if outPath == "" {
 		outPath = "BENCH_" + newDoc.Date + ".json"
 	}
+	failures, warnings := benchsuite.Gate(oldDoc, newDoc)
+	// The skip reasons ride in the artifact itself: a green gate whose timing
+	// rule never applied (host mismatch) must say so durably, not just in a
+	// log line.
+	newDoc.GateSkips = warnings
 	if err := newDoc.WriteFile(outPath); err != nil {
 		return false, err
 	}
 	fmt.Printf("wrote %d benchmark results to %s\n", len(newDoc.Results), outPath)
-	failures, warnings := benchsuite.Gate(oldDoc, newDoc)
 	for _, w := range warnings {
 		fmt.Printf("WARNING: %s\n", w)
 	}

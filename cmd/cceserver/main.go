@@ -7,12 +7,14 @@
 //
 //	cceserver [-addr :8080] [-dataset loan] [-alpha 1.0] [-panel 10] [-retain 0] [-warm]
 //	          [-solver lazy] [-solver-parallelism NumCPU]
+//	          [-explain-cache on] [-explain-cache-entries 0] [-explain-cache-bytes 0]
 //	          [-deadline 0] [-min-deadline 0] [-max-inflight 0]
 //	          [-state DIR] [-snapshot-every 256] [-wal-sync-every 1] [-compact-wal]
 //	          [-follow URL]
 //	          [-metrics-addr ""] [-trace-sample 0] [-pprof] [-log-level info]
 //
-// Endpoints: GET /schema, POST /observe, POST /explain, GET /stats,
+// Endpoints: GET /schema, POST /observe, POST /explain, POST/GET /jobs and
+// GET /jobs/stream (async ExplainAll batches, DESIGN.md §15), GET /stats,
 // GET /healthz, GET /metrics (Prometheus text format) and, when tracing is
 // on, GET /debug/traces. A primary additionally serves the replication plane
 // (GET /replicate, GET /snapshot; DESIGN.md §14). With -metrics-addr the
@@ -65,6 +67,11 @@ func main() {
 		solver    = flag.String("solver", "lazy", "explain solver: lazy (CELF lazy greedy, the default) or eager (the reference full-scan loop; byte-identical keys, for A/B and escape hatch)")
 		solverPar = flag.Int("solver-parallelism", runtime.NumCPU(), "workers per explain solve; contexts under the row threshold solve sequentially regardless (1 = always sequential)")
 
+		explainCache = flag.String("explain-cache", "on", "explanation cache + request coalescing: on or off (DESIGN.md §15)")
+		solveStall   = flag.Duration("solve-stall", 0, "inject this much latency before every solve (chaos/load drills: makes coalescing windows and deadline degradation reproducible on fast contexts; 0 = off)")
+		cacheEntries = flag.Int("explain-cache-entries", 0, "explanation-cache entry cap (0 = 8192)")
+		cacheBytes   = flag.Int64("explain-cache-bytes", 0, "explanation-cache approximate byte cap (0 = 32 MiB)")
+
 		deadline    = flag.Duration("deadline", 0, "default per-explain solve deadline; past it the answer degrades to a larger-but-valid key (0 = none)")
 		minDeadline = flag.Duration("min-deadline", 0, "hard floor: explains asking for less shed with 503 (0 = none)")
 		maxInflight = flag.Int("max-inflight", 0, "bound on concurrent explains; excess sheds with 429 (0 = unbounded)")
@@ -112,12 +119,48 @@ func main() {
 	// seam; the default (lazy) leaves it nil so the service uses the lazy
 	// engine at -solver-parallelism workers.
 	var solveFn service.SolveFunc
+	solverTag := ""
 	switch *solver {
 	case "lazy":
 	case "eager":
 		solveFn = core.SRKAnytime
+		// Declare the engine in the cache-key fingerprint: eager and lazy keys
+		// are byte-identical, but two processes sharing persisted state must
+		// still never alias entries across engine configurations.
+		solverTag = "eager"
 	default:
 		fatal("parse flags", errors.New("-solver must be lazy or eager"))
+	}
+	cacheOff := false
+	switch *explainCache {
+	case "on":
+	case "off":
+		cacheOff = true
+	default:
+		fatal("parse flags", errors.New("-explain-cache must be on or off"))
+	}
+	if *solveStall > 0 {
+		// The stall honours the request context: when a deadline fires
+		// mid-stall the solver runs immediately on the expired context and
+		// degrades, exactly like real long solves under load. The stall does
+		// not change results, so the cache-key fingerprint stays the engine's.
+		inner, stall := solveFn, *solveStall
+		if inner == nil {
+			par := *solverPar
+			inner = func(ctx context.Context, c *core.Context, x feature.Instance, y feature.Label, alpha float64) (core.Key, bool, error) {
+				return core.SRKAnytimePar(ctx, c, x, y, alpha, par)
+			}
+			solverTag = fmt.Sprintf("lazy/p=%d", par)
+		}
+		solveFn = func(ctx context.Context, c *core.Context, x feature.Instance, y feature.Label, alpha float64) (core.Key, bool, error) {
+			t := time.NewTimer(stall)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+			case <-t.C:
+			}
+			return inner(ctx, c, x, y, alpha)
+		}
 	}
 
 	follower := *follow != ""
@@ -182,6 +225,10 @@ func main() {
 		DefaultDeadline: *deadline,
 		MinDeadline:     *minDeadline,
 		MaxInFlight:     *maxInflight,
+		CacheOff:        cacheOff,
+		CacheEntries:    *cacheEntries,
+		CacheBytes:      *cacheBytes,
+		SolverTag:       solverTag,
 		StateDir:        *stateDir,
 		SnapshotEvery:   *snapshotEvery,
 		WALSyncEvery:    *walSyncEvery,

@@ -1,0 +1,346 @@
+// Command loadgensmoke is the end-to-end load-generator gate (`make
+// loadgen-smoke`): it builds the real cceserver and ccebench binaries, boots
+// the server with the explanation cache on, runs a short duplicate-heavy
+// ccebench pass (interactive + one async batch), and asserts the cache
+// actually worked — nonzero hit and coalesced counters in /stats and
+// /metrics, a completed job, and a written JSON artifact.
+//
+// The artifact path defaults to ccebench-smoke.json in the working directory
+// (override with -artifact); CI uploads it so every green run carries its
+// numbers.
+//
+// Exits 0 on success; prints the failed assertion and exits 1 otherwise.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+)
+
+func main() {
+	artifact := flag.String("artifact", "ccebench-smoke.json", "path for the ccebench JSON artifact")
+	flag.Parse()
+	if err := run(*artifact); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen-smoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("loadgen-smoke: PASS")
+}
+
+func run(artifact string) error {
+	tmp, err := os.MkdirTemp("", "loadgensmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp) //rkvet:ignore dropperr best-effort temp cleanup
+
+	serverBin := filepath.Join(tmp, "cceserver")
+	benchBin := filepath.Join(tmp, "ccebench")
+	for bin, pkg := range map[string]string{serverBin: "./cmd/cceserver", benchBin: "./cmd/ccebench"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Stdout, build.Stderr = os.Stdout, os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("build %s: %w", pkg, err)
+		}
+	}
+
+	base, logPath, stop, err := bootServer(serverBin, tmp, "serving")
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	// The ccebench pass: duplicate-heavy interactive traffic plus one small
+	// async batch, merged into the JSON artifact.
+	var out bytes.Buffer
+	bench := exec.Command(benchBin,
+		"-targets", base,
+		"-duration", "3s",
+		"-concurrency", "8",
+		"-dup", "0.9",
+		"-hot", "8",
+		"-warm", "150",
+		"-batch", "16",
+		"-name", "serving/smoke",
+		"-bench-json", artifact)
+	bench.Stdout, bench.Stderr = &out, os.Stderr
+	if err := bench.Run(); err != nil {
+		return fmt.Errorf("ccebench: %w\nserver log:\n%s", err, readLog(logPath))
+	}
+	var res struct {
+		Requests  int64            `json:"requests"`
+		Errors    int64            `json:"errors"`
+		Sources   map[string]int64 `json:"sources"`
+		CacheHits int64            `json:"cache_hits"`
+		JobItems  int64            `json:"job_items"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		return fmt.Errorf("ccebench output decode: %w (%s)", err, out.String())
+	}
+	if res.Requests == 0 {
+		return fmt.Errorf("ccebench drove no requests: %s", out.String())
+	}
+	if res.Errors != 0 {
+		return fmt.Errorf("ccebench saw %d errors: %s", res.Errors, out.String())
+	}
+	if res.CacheHits == 0 {
+		return fmt.Errorf("no cache hits under a 90%% duplicate workload: %s", out.String())
+	}
+	if res.JobItems != 16 {
+		return fmt.Errorf("batch job completed %d items, want 16: %s", res.JobItems, out.String())
+	}
+	if _, err := os.Stat(artifact); err != nil {
+		return fmt.Errorf("ccebench artifact missing: %w", err)
+	}
+
+	// The serving counters must be visible on the metrics plane, not just in
+	// /stats.
+	metrics, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, series := range []string{
+		`rk_explain_cache_total{outcome="hit"}`,
+		`rk_explain_cache_total{outcome="miss"}`,
+		`rk_jobs_total{event="completed"}`,
+		`rk_job_items_total`,
+	} {
+		v, ok := seriesValue(metrics, series)
+		if !ok {
+			return fmt.Errorf("/metrics missing series %s", series)
+		}
+		if v < 1 {
+			return fmt.Errorf("series %s = %v, want >= 1", series, v)
+		}
+	}
+
+	// Coalescing needs requests that overlap a solve in flight. Loan solves
+	// finish in microseconds, so on a small box the leader is done before a
+	// second goroutine is even scheduled and organic overlap never happens.
+	// Boot a second instance with -solve-stall so every solve genuinely
+	// blocks, then fire barrier bursts of one identical request at a fresh
+	// context version: the first burst member leads, the rest coalesce.
+	stallBase, stallLog, stallStop, err := bootServer(serverBin, tmp, "stalled", "-solve-stall", "50ms")
+	if err != nil {
+		return err
+	}
+	defer stallStop()
+	if err := forceCoalesce(stallBase); err != nil {
+		return fmt.Errorf("%w\nstalled-server log:\n%s", err, readLog(stallLog))
+	}
+	stallMetrics, err := get(stallBase + "/metrics")
+	if err != nil {
+		return err
+	}
+	series := `rk_explain_cache_total{outcome="coalesced"}`
+	if v, ok := seriesValue(stallMetrics, series); !ok || v < 1 {
+		return fmt.Errorf("stalled server /metrics series %s = %v (present=%v), want >= 1", series, v, ok)
+	}
+	return nil
+}
+
+// bootServer starts one cceserver instance with its own state directory and
+// log file under tmp, waits for it to answer /schema, and returns its base
+// URL plus a teardown func.
+func bootServer(bin, tmp, name string, extra ...string) (base, logPath string, stop func(), err error) {
+	addr, err := freeAddr()
+	if err != nil {
+		return "", "", nil, err
+	}
+	logPath = filepath.Join(tmp, name+".log")
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		return "", "", nil, err
+	}
+	args := append([]string{
+		"-addr", addr,
+		"-state", filepath.Join(tmp, "state-"+name),
+		"-panel", "0"}, extra...)
+	srv := exec.Command(bin, args...)
+	srv.Stdout, srv.Stderr = logFile, logFile
+	if err := srv.Start(); err != nil {
+		logFile.Close() //rkvet:ignore dropperr nothing was written; the start error is the one to report
+		return "", "", nil, fmt.Errorf("start cceserver (%s): %w", name, err)
+	}
+	stop = func() {
+		_ = srv.Process.Signal(syscall.SIGTERM) //rkvet:ignore dropperr teardown signal; Wait below reports the real outcome
+		_ = srv.Wait()                          //rkvet:ignore dropperr SIGTERM exit status is expected nonzero
+		logFile.Close()                         //rkvet:ignore dropperr write-side close at exit; the log is diagnostic only
+	}
+	base = "http://" + addr
+	if err := waitReady(base+"/schema", 10*time.Second); err != nil {
+		stop()
+		return "", "", nil, fmt.Errorf("%s: %w\nserver log:\n%s", name, err, readLog(logPath))
+	}
+	return base, logPath, stop, nil
+}
+
+// forceCoalesce fires barrier bursts of identical explains at fresh context
+// versions until the server's coalesced counter moves. Each round observes
+// one row (new version, so the hot key is a guaranteed miss), then releases
+// NB identical requests at once: the first to arrive leads the flight, and
+// any that land during its solve coalesce.
+func forceCoalesce(base string) error {
+	schema, err := get(base + "/schema")
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Attributes []struct {
+			Name   string   `json:"name"`
+			Values []string `json:"values"`
+		} `json:"attributes"`
+		Labels []string `json:"labels"`
+	}
+	if err := json.Unmarshal([]byte(schema), &doc); err != nil {
+		return err
+	}
+	values := make(map[string]string, len(doc.Attributes))
+	for _, a := range doc.Attributes {
+		values[a.Name] = a.Values[0]
+	}
+	body, err := json.Marshal(map[string]any{"values": values, "prediction": doc.Labels[0]})
+	if err != nil {
+		return err
+	}
+
+	coalesced := func() (int64, error) {
+		var stats struct {
+			Coalesced int64 `json:"cache_coalesced"`
+		}
+		raw, err := get(base + "/stats")
+		if err != nil {
+			return 0, err
+		}
+		if err := json.Unmarshal([]byte(raw), &stats); err != nil {
+			return 0, err
+		}
+		return stats.Coalesced, nil
+	}
+
+	start, err := coalesced()
+	if err != nil {
+		return err
+	}
+	const rounds, burst = 10, 16
+	for r := 0; r < rounds; r++ {
+		// A fresh observation shifts the context version: the burst's shared
+		// key cannot already be cached.
+		resp, err := http.Post(base+"/observe", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body) //rkvet:ignore dropperr drain before reuse; status checked next
+		resp.Body.Close()              //rkvet:ignore dropperr read-side body close; nothing to recover
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("observe: %s", resp.Status)
+		}
+		release := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < burst; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-release
+				resp, err := http.Post(base+"/explain", "application/json", bytes.NewReader(body))
+				if err != nil {
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //rkvet:ignore dropperr drain to reuse the connection; the counter is the assertion
+				resp.Body.Close()              //rkvet:ignore dropperr read-side body close; nothing to recover
+			}()
+		}
+		close(release)
+		wg.Wait()
+		now, err := coalesced()
+		if err != nil {
+			return err
+		}
+		if now > start {
+			return nil
+		}
+	}
+	return fmt.Errorf("no coalesced requests after %d barrier bursts of %d", rounds, burst)
+}
+
+// freeAddr grabs a loopback port from the kernel and releases it for the
+// server to claim. The tiny claim race is acceptable in a smoke test.
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	if err := l.Close(); err != nil {
+		return "", err
+	}
+	return addr, nil
+}
+
+// waitReady polls url until it answers 200 or the budget expires.
+func waitReady(url string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close() //rkvet:ignore dropperr read-side body close; nothing to recover
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("server not ready within %v", budget)
+}
+
+func get(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close() //rkvet:ignore dropperr read-side body close; nothing to recover
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s: %s", url, resp.Status, b)
+	}
+	return string(b), nil
+}
+
+// seriesValue finds one exposition line by its full series name (with labels)
+// and parses its value.
+func seriesValue(exposition, series string) (float64, bool) {
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(series) + ` (\S+)$`)
+	m := re.FindStringSubmatch(exposition)
+	if m == nil {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func readLog(path string) string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "(no log: " + err.Error() + ")"
+	}
+	return string(b)
+}

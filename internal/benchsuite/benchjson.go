@@ -38,12 +38,58 @@ type Record struct {
 
 // Doc is one benchmark baseline document.
 type Doc struct {
-	Date    string   `json:"date"`
-	GoOS    string   `json:"goos"`
-	Procs   int      `json:"gomaxprocs"`
-	NumCPU  int      `json:"num_cpu"`
-	Smoke   bool     `json:"smoke,omitempty"`
-	Results []Record `json:"results"`
+	Date   string `json:"date"`
+	GoOS   string `json:"goos"`
+	GoArch string `json:"goarch,omitempty"`
+	Procs  int    `json:"gomaxprocs"`
+	NumCPU int    `json:"num_cpu"`
+	Smoke  bool   `json:"smoke,omitempty"`
+	// GateSkips records, in the gate's output document, why any gate rule was
+	// skipped (host mismatch, smoke mode) — so a green CI run whose timing
+	// gate never actually applied says so in the artifact, not only in a log
+	// line that scrolled away.
+	GateSkips []string `json:"gate_skip_reasons,omitempty"`
+	Results   []Record `json:"results"`
+	// Serving holds end-to-end serving-path results recorded by cmd/ccebench
+	// against a live cceserver — throughput and latency percentiles, not
+	// ns/op micro-timings.
+	Serving []ServingRecord `json:"serving,omitempty"`
+}
+
+// ServingRecord is one ccebench run: request-plane throughput and latency
+// against a live server, alongside the cache counters that explain them.
+type ServingRecord struct {
+	Name        string  `json:"name"`
+	Targets     int     `json:"targets"`
+	Concurrency int     `json:"concurrency"`
+	DupRate     float64 `json:"dup_rate"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors,omitempty"`
+	Seconds     float64 `json:"seconds"`
+	Throughput  float64 `json:"req_per_sec"`
+	P50MS       float64 `json:"p50_ms"`
+	P90MS       float64 `json:"p90_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	MaxMS       float64 `json:"max_ms"`
+
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheCoalesced int64 `json:"cache_coalesced"`
+	CacheBypassed  int64 `json:"cache_bypassed"`
+	JobItems       int64 `json:"job_items,omitempty"`
+}
+
+// Arch reports the document's recorded architecture, falling back to the arch
+// half of a combined "goos/goarch" GoOS string (the format RunSuite wrote
+// before goarch had its own field); "" = unknown.
+func (d Doc) Arch() string {
+	if d.GoArch != "" {
+		return d.GoArch
+	}
+	if _, arch, ok := strings.Cut(d.GoOS, "/"); ok {
+		return arch
+	}
+	return ""
 }
 
 // CaseParallelism extracts the intra-solve worker count from a case name
@@ -69,7 +115,8 @@ func CaseParallelism(name string) int {
 func RunSuite(progress io.Writer, smoke bool) Doc {
 	doc := Doc{
 		Date:   time.Now().Format("2006-01-02"),
-		GoOS:   runtime.GOOS + "/" + runtime.GOARCH,
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
 		Procs:  runtime.GOMAXPROCS(0),
 		NumCPU: runtime.NumCPU(),
 		Smoke:  smoke,
@@ -138,6 +185,12 @@ func Compare(old, new Doc) (table []string, warnings []string) {
 	if old.Procs != new.Procs {
 		warnings = append(warnings, fmt.Sprintf("GOMAXPROCS differs (%d vs %d): parallel timings are not comparable", old.Procs, new.Procs))
 	}
+	switch oa, na := old.Arch(), new.Arch(); {
+	case oa == "" || na == "":
+		warnings = append(warnings, "architecture unknown on one side (file predates goarch): timings may not be comparable")
+	case oa != na:
+		warnings = append(warnings, fmt.Sprintf("architectures differ (%s vs %s): timings are not comparable", oa, na))
+	}
 	prev := make(map[string]Record, len(old.Results))
 	for _, r := range old.Results {
 		prev[r.Name] = r
@@ -172,6 +225,13 @@ func Compare(old, new Doc) (table []string, warnings []string) {
 	return table, warnings
 }
 
+// gatedCase reports whether a case's ns/op is under the timing gate: the
+// lazy-solver cases (the production solve engine) and the service/ serving-path
+// cases (the request plane the solver sits behind).
+func gatedCase(name string) bool {
+	return strings.Contains(name, "srk_lazy") || strings.HasPrefix(name, "service/")
+}
+
 // GateNsRatio is the regression threshold on the lazy-solver timing gate:
 // new ns/op above old × 1.25 fails. Wide enough to ride out scheduler noise
 // on a busy CI box, tight enough to catch an accidental O(F) → O(F·rounds)
@@ -181,8 +241,8 @@ const GateNsRatio = 1.25
 // Gate applies the CI perf gate between a committed baseline and a freshly
 // recorded document:
 //
-//   - every srk_lazy case (the production solve path) fails on a >25% ns/op
-//     regression;
+//   - every srk_lazy case (the production solve path) and every service/ case
+//     (the serving path in front of it) fails on a >25% ns/op regression;
 //   - every case present in both documents fails on ANY allocs/op increase —
 //     the pool discipline means steady-state allocation counts are exact, so
 //     one extra alloc is a real leak into the hot path, not noise.
@@ -208,6 +268,12 @@ func Gate(old, new Doc) (failures, warnings []string) {
 	case old.Procs != new.Procs:
 		hostMatch = false
 		warnings = append(warnings, fmt.Sprintf("ns/op gate skipped: GOMAXPROCS differs (%d vs %d)", old.Procs, new.Procs))
+	case old.Arch() == "" || new.Arch() == "":
+		hostMatch = false
+		warnings = append(warnings, "ns/op gate skipped: architecture unknown on one side")
+	case old.Arch() != new.Arch():
+		hostMatch = false
+		warnings = append(warnings, fmt.Sprintf("ns/op gate skipped: architectures differ (%s vs %s)", old.Arch(), new.Arch()))
 	}
 	prev := make(map[string]Record, len(old.Results))
 	for _, r := range old.Results {
@@ -218,7 +284,7 @@ func Gate(old, new Doc) (failures, warnings []string) {
 		if !ok {
 			continue // new case: nothing to gate against
 		}
-		if hostMatch && strings.Contains(r.Name, "srk_lazy") && o.NsPerOp > 0 && r.NsPerOp > o.NsPerOp*GateNsRatio {
+		if hostMatch && gatedCase(r.Name) && o.NsPerOp > 0 && r.NsPerOp > o.NsPerOp*GateNsRatio {
 			failures = append(failures, fmt.Sprintf("%s: %.1f -> %.1f ns/op (x%.2f exceeds the x%.2f gate)",
 				r.Name, o.NsPerOp, r.NsPerOp, r.NsPerOp/o.NsPerOp, GateNsRatio))
 		}

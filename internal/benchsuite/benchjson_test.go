@@ -86,3 +86,62 @@ func TestGateNewAndRemovedCases(t *testing.T) {
 		t.Fatalf("unmatched cases must not gate, got %v", failures)
 	}
 }
+
+func TestDocArch(t *testing.T) {
+	cases := []struct {
+		goArch, goOS, want string
+	}{
+		{"amd64", "linux", "amd64"},       // split fields (current writer)
+		{"", "linux/amd64", "amd64"},      // combined legacy field
+		{"arm64", "linux/amd64", "arm64"}, // explicit field wins
+		{"", "linux", ""},                 // arch genuinely unknown
+		{"", "", ""},
+	}
+	for _, tc := range cases {
+		d := Doc{GoArch: tc.goArch, GoOS: tc.goOS}
+		if got := d.Arch(); got != tc.want {
+			t.Errorf("Arch(goarch=%q, goos=%q) = %q, want %q", tc.goArch, tc.goOS, got, tc.want)
+		}
+	}
+}
+
+func TestGateArchMismatchSkipsTimingKeepsAllocs(t *testing.T) {
+	old := doc(8, 8, false, rec("core/srk_lazy", 1000, 2))
+	old.GoOS, old.GoArch = "linux", "amd64"
+	new := doc(8, 8, false, rec("core/srk_lazy", 9000, 3))
+	new.GoOS, new.GoArch = "linux", "arm64"
+	failures, warnings := Gate(old, new)
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "architectures differ") {
+		t.Fatalf("want the arch-mismatch warning, got %v", warnings)
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
+		t.Fatalf("alloc gate must survive the arch mismatch (and the 9x ns/op must be skipped), got %v", failures)
+	}
+}
+
+func TestGateArchUnknownSkipsTiming(t *testing.T) {
+	// A pre-goarch baseline whose goos field has no slash: the arch is
+	// unknown, so the timing gate must skip rather than compare across what
+	// may be different silicon.
+	old := doc(8, 8, false, rec("core/srk_lazy", 1000, 2))
+	old.GoOS, old.GoArch = "linux", ""
+	new := doc(8, 8, false, rec("core/srk_lazy", 9000, 2))
+	new.GoOS, new.GoArch = "linux", "amd64"
+	failures, warnings := Gate(old, new)
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "architecture unknown") {
+		t.Fatalf("want the unknown-arch warning, got %v", warnings)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("no alloc change: want no failures, got %v", failures)
+	}
+}
+
+func TestGateServingPathCases(t *testing.T) {
+	// service/ cases ride the ns/op gate like srk_lazy; other prefixes don't.
+	old := doc(8, 8, false, rec("service/explain_hit", 1000, 2), rec("persist/wal_append", 1000, 2))
+	new := doc(8, 8, false, rec("service/explain_hit", 2000, 2), rec("persist/wal_append", 2000, 2))
+	failures, _ := Gate(old, new)
+	if len(failures) != 1 || !strings.Contains(failures[0], "service/explain_hit") {
+		t.Fatalf("want exactly the serving-path timing failure, got %v", failures)
+	}
+}

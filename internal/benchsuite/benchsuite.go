@@ -43,7 +43,8 @@ func Cases() []Case {
 	}
 	cases = append(cases, lazyCases()...)
 	cases = append(cases, parallelCases()...)
-	return append(cases, replicaCases()...)
+	cases = append(cases, replicaCases()...)
+	return append(cases, servingCases()...)
 }
 
 // loanContext builds the deterministic Loan benchmark context: the test-split

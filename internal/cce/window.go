@@ -66,6 +66,9 @@ type Window struct {
 
 	ctx     *core.Context // guarded by mu; one index, updated in place by advance
 	version int           // guarded by mu
+	// ctxVersionBase keeps ContextVersion monotonic across Reset, which swaps
+	// in a fresh context whose own stamp restarts at zero.
+	ctxVersionBase uint64 // guarded by mu
 
 	// cache holds per-instance resolved keys across overlapping contexts for
 	// FirstWins/UnionKey (LastWins never reads earlier keys, so it bypasses
@@ -195,6 +198,7 @@ func (w *Window) Reset() error {
 	defer w.mu.Unlock()
 	w.buf = w.buf[:0]
 	w.head, w.size = 0, 0
+	w.ctxVersionBase += w.ctx.Version() + 1
 	w.ctx = ctx
 	w.cache = map[string]cacheEntry{}
 	w.touched = map[int][]string{}
@@ -228,6 +232,18 @@ func (w *Window) Version() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.version
+}
+
+// ContextVersion exposes the underlying context's mutation stamp (see
+// core.Context.Version): it advances with every row the sliding window adds
+// or retires, a finer grain than Version, which ticks once per ΔI-step. Equal
+// stamps guarantee identical context content, which is what lets a service
+// tier cache explanations keyed on (stamp, instance, solver config) and have
+// window movement invalidate them for free (DESIGN.md §15).
+func (w *Window) ContextVersion() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.ctxVersionBase + w.ctx.Version()
 }
 
 // Size returns the current window occupancy.

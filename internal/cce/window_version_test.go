@@ -1,0 +1,77 @@
+package cce
+
+import (
+	"testing"
+
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+// TestWindowContextVersionMonotonic drives a small window through fills,
+// advances (which retire and add rows in the same step), and hard Resets,
+// asserting the context stamp never repeats or regresses. The explanation
+// cache keys on this stamp, so a single repeated value across any of those
+// transitions would let a stale entry answer for a different window content.
+func TestWindowContextVersionMonotonic(t *testing.T) {
+	schema := feature.MustSchema([]feature.Attribute{
+		{Name: "A", Values: []string{"a0", "a1"}},
+		{Name: "B", Values: []string{"b0", "b1", "b2"}},
+	}, []string{"no", "yes"})
+	w, err := NewWindow(schema, 4, 2, 1.0, LastWins)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	last := w.ContextVersion()
+	bump := func(stage string, mustMove bool) {
+		t.Helper()
+		got := w.ContextVersion()
+		if got < last {
+			t.Fatalf("%s: stamp regressed %d -> %d", stage, last, got)
+		}
+		if mustMove && got == last {
+			t.Fatalf("%s: stamp stuck at %d", stage, got)
+		}
+		last = got
+	}
+
+	rows := []feature.Labeled{
+		{X: feature.Instance{0, 0}, Y: 0},
+		{X: feature.Instance{1, 1}, Y: 1},
+		{X: feature.Instance{0, 2}, Y: 1},
+		{X: feature.Instance{1, 0}, Y: 0},
+	}
+	// Two full passes: the first fills the window, the second slides it, so
+	// the stamp is exercised across add-only and retire+add advances.
+	for pass := 0; pass < 2; pass++ {
+		for i, li := range rows {
+			if err := w.Observe(li); err != nil {
+				t.Fatal(err)
+			}
+			// The context only moves when the buffered step flushes.
+			bump("observe", (i+1)%2 == 0)
+		}
+	}
+
+	// Reset swaps in a fresh context whose own stamp restarts at zero; the
+	// exposed stamp must keep climbing across the swap.
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	bump("reset", true)
+	for _, li := range rows[:2] {
+		if err := w.Observe(li); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bump("post-reset observe", true)
+
+	// Back-to-back resets on an empty window must still move the stamp.
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	bump("empty reset", true)
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	bump("second empty reset", true)
+}

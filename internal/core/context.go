@@ -43,6 +43,11 @@ type Context struct {
 	// free holds retired slots awaiting reuse (LIFO).
 	free []int
 	cap  int // current bitset capacity
+	// version counts content mutations (AddSlot and Remove each bump it once),
+	// so two reads of the same context with equal versions are guaranteed to
+	// see identical rows — the invalidation stamp the service-level explanation
+	// cache keys on (DESIGN.md §15).
+	version uint64
 }
 
 // NewContext builds an indexed context. Instances are validated against the
@@ -124,6 +129,7 @@ func (c *Context) AddSlot(li feature.Labeled) (int, error) {
 	c.byLabel[li.Y].Add(i)
 	c.live.Add(i)
 	c.liveCount++
+	c.version++
 	return i, nil
 }
 
@@ -143,6 +149,7 @@ func (c *Context) Remove(slot int) error {
 	c.live.Remove(slot)
 	c.liveCount--
 	c.free = append(c.free, slot)
+	c.version++
 	return nil
 }
 
@@ -161,6 +168,12 @@ func (c *Context) grow(n int) {
 
 // Len returns |I|: the number of live rows.
 func (c *Context) Len() int { return c.liveCount }
+
+// Version is the context's mutation stamp: it increases on every AddSlot and
+// Remove and never otherwise, so equal versions imply identical content (the
+// converse does not hold — an add/remove pair restoring the same rows still
+// advances it). Callers synchronize access exactly as for any other read.
+func (c *Context) Version() uint64 { return c.version }
 
 // NumSlots returns the physical slot count, ≥ Len when rows were removed.
 func (c *Context) NumSlots() int { return len(c.items) }

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+// TestContextVersionStamp pins the mutation-stamp contract the explanation
+// cache is built on: AddSlot and Remove each bump the version exactly once,
+// reads never do, and no sequence of mutations can repeat a version — equal
+// stamps must imply identical content.
+func TestContextVersionStamp(t *testing.T) {
+	schema := versionSchema(t)
+	ctx, err := NewContext(schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := ctx.Version()
+
+	rows := []feature.Labeled{
+		{X: feature.Instance{0, 0}, Y: 0},
+		{X: feature.Instance{1, 0}, Y: 1},
+		{X: feature.Instance{1, 1}, Y: 0},
+	}
+	var slots []int
+	for i, li := range rows {
+		slot, err := ctx.AddSlot(li)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, slot)
+		if got := ctx.Version(); got != v0+uint64(i+1) {
+			t.Fatalf("after add %d: version %d, want %d", i, got, v0+uint64(i+1))
+		}
+	}
+
+	// Reads do not move the stamp.
+	_ = ctx.Len()
+	if _, err := SRK(ctx, rows[0].X, rows[0].Y, 1.0); err != nil && err != ErrNoKey {
+		t.Fatal(err)
+	}
+	if got := ctx.Version(); got != v0+3 {
+		t.Fatalf("reads moved the version to %d", got)
+	}
+
+	// Remove bumps once; a failed remove does not.
+	if err := ctx.Remove(slots[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.Version(); got != v0+4 {
+		t.Fatalf("after remove: version %d, want %d", got, v0+4)
+	}
+	if err := ctx.Remove(slots[0]); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if got := ctx.Version(); got != v0+4 {
+		t.Fatalf("failed remove moved the version to %d", got)
+	}
+
+	// A remove+add cycle that reconstructs identical content still advances
+	// the stamp: versions name mutation histories, not states, so a cache
+	// keyed on them can never confuse two distinct histories.
+	before := ctx.Version()
+	slot, err := ctx.AddSlot(rows[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Remove(slot); err != nil {
+		t.Fatal(err)
+	}
+	slot2, err := ctx.AddSlot(rows[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = slot2
+	if got := ctx.Version(); got != before+3 {
+		t.Fatalf("add/remove/add advanced the version by %d, want 3", got-before)
+	}
+}
+
+// TestContextVersionSeeded: the constructor's seed rows count as mutations,
+// so two contexts that differ only in seeding history cannot share a stamp
+// by construction.
+func TestContextVersionSeeded(t *testing.T) {
+	schema := versionSchema(t)
+	rows := []feature.Labeled{
+		{X: feature.Instance{0, 0}, Y: 0},
+		{X: feature.Instance{1, 1}, Y: 1},
+	}
+	empty, err := NewContext(schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := NewContext(schema, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.Version() == empty.Version() {
+		t.Fatalf("seeded context shares version %d with an empty one", empty.Version())
+	}
+}
+
+func versionSchema(t *testing.T) *feature.Schema {
+	t.Helper()
+	return feature.MustSchema([]feature.Attribute{
+		{Name: "A", Values: []string{"a0", "a1"}},
+		{Name: "B", Values: []string{"b0", "b1"}},
+	}, []string{"no", "yes"})
+}

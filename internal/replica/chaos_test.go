@@ -131,9 +131,12 @@ func TestChaosReplicationConvergence(t *testing.T) {
 	if fd.Dials() == 0 {
 		t.Fatal("fault injector never saw a dial")
 	}
-	if f.srv.Epoch() != p.srv.Epoch() {
-		t.Fatalf("epochs diverged: follower %q, primary %q", f.srv.Epoch(), p.srv.Epoch())
-	}
+	// Snapshot catch-up deliberately installs state before adopting the
+	// epoch (a crash between the two must re-fence, DESIGN.md §14), so the
+	// watermark can be current a beat before the epoch is — wait for the
+	// adoption rather than asserting a point in time.
+	waitFor(t, 10*time.Second, "follower to adopt the primary's epoch",
+		func() bool { return f.srv.Epoch() == p.srv.Epoch() })
 
 	// Differential check over the full instance/label space: a caught-up
 	// follower is indistinguishable from its primary, byte for byte.

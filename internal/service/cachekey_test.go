@@ -1,0 +1,116 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/xai-db/relativekeys/internal/feature"
+)
+
+func cacheKeyFixtures() []CacheKey {
+	return []CacheKey{
+		{},
+		{Version: 1, Config: "lazy/p=1", Alpha: 1.0, Y: 0, X: feature.Instance{0, 0, 0}},
+		{Version: 1, Config: "lazy/p=1", Alpha: 1.0, Y: 1, X: feature.Instance{0, 0, 0}},
+		{Version: 2, Config: "lazy/p=1", Alpha: 1.0, Y: 0, X: feature.Instance{0, 0, 0}},
+		{Version: 1, Config: "lazy/p=4", Alpha: 1.0, Y: 0, X: feature.Instance{0, 0, 0}},
+		{Version: 1, Config: "eager", Alpha: 1.0, Y: 0, X: feature.Instance{0, 0, 0}},
+		{Version: 1, Config: "lazy/p=1", Alpha: 0.9, Y: 0, X: feature.Instance{0, 0, 0}},
+		// One ulp below 0.9: the bound the solver distinguishes, the key must too.
+		{Version: 1, Config: "lazy/p=1", Alpha: 0.8999999999999999, Y: 0, X: feature.Instance{0, 0, 0}},
+		{Version: 1, Config: "lazy/p=1", Alpha: 1.0, Y: 0, X: feature.Instance{0, 0, 1}},
+		{Version: 1, Config: "lazy/p=1", Alpha: 1.0, Y: 0, X: feature.Instance{0, 0}},
+		{Version: 1, Config: "lazy/p=1", Alpha: 1.0, Y: 0, X: nil},
+		{Version: 1 << 40, Config: strings.Repeat("c", 300), Alpha: -1, Y: 1<<31 - 1, X: feature.Instance{1<<31 - 1, 0}},
+		// A config that embeds bytes resembling the framing itself.
+		{Version: 7, Config: "\x01\x00\xff", Alpha: 0, Y: -1, X: feature.Instance{3}},
+	}
+}
+
+func TestCacheKeyRoundTrip(t *testing.T) {
+	for i, k := range cacheKeyFixtures() {
+		s := EncodeCacheKey(k)
+		got, err := DecodeCacheKey(s)
+		if err != nil {
+			t.Fatalf("fixture %d: decode: %v", i, err)
+		}
+		if got.Version != k.Version || got.Config != k.Config || got.Alpha != k.Alpha || got.Y != k.Y { //rkvet:ignore floateq bit-exact alpha round-trip is the property under test
+			t.Fatalf("fixture %d: got %+v, want %+v", i, got, k)
+		}
+		if len(got.X) != len(k.X) {
+			t.Fatalf("fixture %d: X = %v, want %v", i, got.X, k.X)
+		}
+		for j := range k.X {
+			if got.X[j] != k.X[j] {
+				t.Fatalf("fixture %d: X = %v, want %v", i, got.X, k.X)
+			}
+		}
+		// Canonical: re-encoding the decoded key reproduces the bytes.
+		if EncodeCacheKey(got) != s {
+			t.Fatalf("fixture %d: re-encode differs", i)
+		}
+	}
+}
+
+// TestCacheKeyInjective asserts pairwise-distinct tuples produce pairwise-
+// distinct encodings — the property that makes the cache safe: a collision
+// would serve one instance's explanation as another's.
+func TestCacheKeyInjective(t *testing.T) {
+	seen := make(map[string]int)
+	for i, k := range cacheKeyFixtures() {
+		s := EncodeCacheKey(k)
+		if j, dup := seen[s]; dup {
+			t.Fatalf("fixtures %d and %d collide: %q", j, i, s)
+		}
+		seen[s] = i
+	}
+}
+
+func TestCacheKeyMalformed(t *testing.T) {
+	good := EncodeCacheKey(CacheKey{Version: 3, Config: "lazy/p=2", Alpha: 1, Y: 1, X: feature.Instance{1, 2, 3}})
+	cases := map[string]string{
+		"empty":            "",
+		"bad magic":        "\x02" + good[1:],
+		"truncated header": good[:1],
+		"truncated config": good[:4],
+		"truncated alpha":  good[:len(good)-12],
+		"truncated values": good[:len(good)-1],
+		"trailing bytes":   good + "x",
+	}
+	for name, s := range cases {
+		if _, err := DecodeCacheKey(s); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// FuzzCacheKey drives the canonical-form property from the byte side:
+// anything that decodes must re-encode to exactly the input bytes (so no two
+// distinct byte strings decode to the same tuple), and the re-decode must
+// agree with the first. Together with TestCacheKeyRoundTrip this pins the
+// encoding as a bijection between valid tuples and valid byte strings.
+func FuzzCacheKey(f *testing.F) {
+	for _, k := range cacheKeyFixtures() {
+		f.Add([]byte(EncodeCacheKey(k)))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{cacheKeyMagic})
+	f.Add([]byte("\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, err := DecodeCacheKey(string(data))
+		if err != nil {
+			return
+		}
+		re := EncodeCacheKey(k)
+		if re != string(data) {
+			t.Fatalf("decode accepted non-canonical bytes %q (canonical %q)", data, re)
+		}
+		again, err := DecodeCacheKey(re)
+		if err != nil {
+			t.Fatalf("re-decode of canonical bytes failed: %v", err)
+		}
+		if again.Version != k.Version || again.Config != k.Config || again.Y != k.Y {
+			t.Fatalf("re-decode disagrees: %+v vs %+v", again, k)
+		}
+	})
+}

@@ -43,6 +43,26 @@ var (
 
 	clientRetries = obs.NewCounter("rk_client_retries_total",
 		"Requests re-sent by the retrying client after a retryable response or transport error.")
+
+	cacheOutcomes = obs.NewCounterVec("rk_explain_cache_total",
+		"Explain requests through the explanation cache, by outcome: hit (served from cache), miss (solved and stored), coalesced (waited on an identical in-flight solve), bypass (cache off or no_cache).",
+		"outcome")
+	cacheHit       = cacheOutcomes.With("hit")
+	cacheMiss      = cacheOutcomes.With("miss")
+	cacheCoalesced = cacheOutcomes.With("coalesced")
+	cacheBypass    = cacheOutcomes.With("bypass")
+	cacheEvictions = obs.NewCounter("rk_explain_cache_evictions_total",
+		"Cache entries evicted from the cold end by the entry or byte cap.")
+
+	jobEvents = obs.NewCounterVec("rk_jobs_total",
+		"Async ExplainAll job lifecycle events: submitted, completed, failed, resumed (picked up after a restart).",
+		"event")
+	jobEvtSubmitted = jobEvents.With("submitted")
+	jobEvtCompleted = jobEvents.With("completed")
+	jobEvtFailed    = jobEvents.With("failed")
+	jobEvtResumed   = jobEvents.With("resumed")
+	jobItemsDone    = obs.NewCounter("rk_job_items_total",
+		"Batch items solved by the async job runner.")
 )
 
 // endpointLabel maps a request path to a bounded endpoint label so arbitrary
@@ -51,6 +71,8 @@ func endpointLabel(path string) string {
 	switch path {
 	case "/schema", "/observe", "/explain", "/stats", "/healthz", "/metrics":
 		return path[1:]
+	case "/jobs", "/jobs/stream":
+		return "jobs"
 	}
 	return "other"
 }

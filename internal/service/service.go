@@ -72,6 +72,26 @@ type Config struct {
 	MinDeadline     time.Duration // floor: shorter requests shed with 503
 	MaxInFlight     int           // concurrent explains; 0 = unbounded
 
+	// Explanation cache + request coalescing (DESIGN.md §15). The cache
+	// memoizes rendered explain responses under the canonical (context
+	// version, solver config, alpha, instance) key; concurrent identical
+	// misses coalesce onto one solve. CacheOff disables both. CacheEntries
+	// and CacheBytes bound the cache (0 = defaults: 8192 entries, 32 MiB).
+	// SolverTag fingerprints the solver configuration inside cache keys; ""
+	// derives one from Solve/Parallelism. Two servers sharing persisted state
+	// but configured with different solvers must carry different tags.
+	CacheOff     bool
+	CacheEntries int
+	CacheBytes   int64
+	SolverTag    string
+
+	// Async ExplainAll jobs (DESIGN.md §15). MaxJobItems caps one batch
+	// (0 = 100000); JobsKept bounds finished jobs retained for polling
+	// (0 = 64). With StateDir set, job specs and per-item results persist
+	// under <StateDir>/jobs and incomplete jobs resume after a restart.
+	MaxJobItems int
+	JobsKept    int
+
 	StateDir      string       // "" = no persistence
 	WAL           *persist.WAL // overrides the StateDir log (fault-injection seam)
 	SnapshotEvery int          // observations per snapshot; 0 = 256
@@ -116,6 +136,14 @@ type Server struct {
 	snapPath        string        // "" = snapshots off
 	sem             chan struct{} // nil = unbounded explains
 
+	// Explanation cache + coalescing (DESIGN.md §15); immutable after
+	// construction. cache nil = caching and coalescing off.
+	cache     *explainCache
+	flights   *flightGroup
+	solverTag string
+
+	jobs *jobStore // nil = jobs disabled (never in practice; see NewServer)
+
 	mu      sync.RWMutex
 	ctx     *core.Context // guarded by mu
 	monitor DriftObserver // guarded by mu
@@ -133,12 +161,17 @@ type Server struct {
 	// Replication state (DESIGN.md §14).
 	follower    bool
 	compactWAL  bool
-	walPath     string                                 // "" = no on-disk log
-	epoch       string                                 // guarded by mu; primary boot identity
-	walBase     uint64                                 // guarded by mu; highest seq NOT in the log (compaction watermark)
-	onReplicate func(seq uint64, li feature.Labeled)   // called under mu after each durable observe
-	primarySeq  atomic.Uint64                          // follower: latest seq the primary has advertised
-	lastSync    atomic.Int64                           // follower: unix nanos of the last provably caught-up moment; 0 = never
+	walPath     string                               // "" = no on-disk log
+	epoch       string                               // guarded by mu; primary boot identity
+	walBase     uint64                               // guarded by mu; highest seq NOT in the log (compaction watermark)
+	onReplicate func(seq uint64, li feature.Labeled) // called under mu after each durable observe
+	primarySeq  atomic.Uint64                        // follower: latest seq the primary has advertised
+	lastSync    atomic.Int64                         // follower: unix nanos of the last provably caught-up moment; 0 = never
+
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheCoalesced atomic.Int64
+	cacheBypassed  atomic.Int64
 
 	degradedTotal   atomic.Int64
 	shedTotal       atomic.Int64
@@ -206,11 +239,24 @@ func NewServer(cfg Config) (*Server, error) {
 		logger:          cfg.Logger,
 		start:           time.Now(),
 	}
+	s.solverTag = cfg.SolverTag
 	if s.solve == nil {
 		par := s.parallelism
 		s.solve = func(ctx context.Context, c *core.Context, x feature.Instance, y feature.Label, alpha float64) (core.Key, bool, error) {
 			return core.SRKAnytimePar(ctx, c, x, y, alpha, par)
 		}
+		if s.solverTag == "" {
+			s.solverTag = fmt.Sprintf("lazy/p=%d", s.parallelism)
+		}
+	}
+	if s.solverTag == "" {
+		// An injected solver with no declared tag: fingerprint it as custom so
+		// it never shares entries with the stock engines.
+		s.solverTag = "custom"
+	}
+	if !cfg.CacheOff {
+		s.cache = newExplainCache(cfg.CacheEntries, cfg.CacheBytes)
+		s.flights = newFlightGroup()
 	}
 	if s.snapshotEvery <= 0 {
 		s.snapshotEvery = defaultSnapshotEvery
@@ -254,6 +300,17 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.WAL != nil {
 		s.wal = cfg.WAL
 	}
+	// The job store comes up last: resuming an unfinished batch starts the
+	// runner, which solves against the context recovered above.
+	jobsDir := ""
+	if cfg.StateDir != "" {
+		jobsDir = filepath.Join(cfg.StateDir, "jobs")
+	}
+	jobs, err := newJobStore(s, jobsDir, cfg.MaxJobItems, cfg.JobsKept)
+	if err != nil {
+		return nil, err
+	}
+	s.jobs = jobs
 	return s, nil
 }
 
@@ -476,6 +533,11 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	if s.jobs != nil {
+		// Stop the batch runner; a persisted job resumes from its checkpoint
+		// log on the next boot.
+		s.jobs.close()
+	}
 	err := s.snapshotLocked()
 	if s.wal != nil {
 		if cerr := s.wal.Close(); err == nil {
@@ -534,6 +596,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/schema", s.handleSchema)
 	mux.HandleFunc("/observe", s.handleObserve)
 	mux.HandleFunc("/explain", s.handleExplain)
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/jobs/stream", s.handleJobStream)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", obs.Default.Handler())
@@ -617,6 +681,12 @@ type ExplainRequest struct {
 	Alpha          float64           `json:"alpha,omitempty"`
 	DeadlineMS     int64             `json:"deadline_ms,omitempty"`
 	MaxStalenessMS int64             `json:"max_staleness_ms,omitempty"`
+
+	// NoCache bypasses the explanation cache and request coalescing for this
+	// request: the solve always runs. The response body is byte-identical to
+	// the cached path at the same context version (the differential suite
+	// enforces this); only the X-RK-Cache header differs.
+	NoCache bool `json:"no_cache,omitempty"`
 }
 
 // ExplainResponse carries the explanation. Degraded marks a key completed
@@ -654,6 +724,20 @@ type StatsResponse struct {
 	RollbacksWAL     int64   `json:"observe_rollbacks_wal,omitempty"`
 	Seq              uint64  `json:"seq,omitempty"`
 	PersistenceOn    bool    `json:"persistence_active,omitempty"`
+
+	// Explanation cache and coalescing (DESIGN.md §15). CacheActive is false
+	// when the server runs with CacheOff.
+	CacheActive    bool  `json:"cache_active"`
+	CacheHits      int64 `json:"cache_hits,omitempty"`
+	CacheMisses    int64 `json:"cache_misses,omitempty"`
+	CacheCoalesced int64 `json:"cache_coalesced,omitempty"`
+	CacheBypassed  int64 `json:"cache_bypassed,omitempty"`
+	CacheEntries   int   `json:"cache_entries,omitempty"`
+	CacheBytes     int64 `json:"cache_bytes,omitempty"`
+
+	// Async batch jobs (DESIGN.md §15): aggregate counters plus per-job
+	// progress for every unfinished job.
+	Jobs *JobsStats `json:"jobs,omitempty"`
 
 	// Replication state (DESIGN.md §14). Role is always present; the lag
 	// fields are meaningful on a follower (StalenessMS -1 = never synced).
@@ -846,29 +930,21 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		unavailable(w, errDraining.Error())
 		return
 	}
-	key, degraded, err := s.solve(ctx, s.ctx, li.X, li.Y, alpha)
-	if err == core.ErrNoKey {
+	out, source := s.explainLocked(ctx, li, alpha, deadline, req.NoCache)
+	if out.err != nil {
+		http.Error(w, out.err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("X-RK-Cache", source)
+	if out.e.noKey {
 		http.Error(w, "no α-conformant key exists for this instance", http.StatusConflict)
 		return
 	}
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	if degraded {
+	if out.e.resp.Degraded {
 		s.degradedTotal.Add(1)
 		explainDegraded.Inc()
 	}
-	resp := ExplainResponse{
-		Rule:      key.RenderRule(s.schema, li.X, li.Y),
-		Precision: core.PrecisionPar(s.ctx, li.X, li.Y, key, s.parallelism),
-		Coverage:  core.CoveragePar(s.ctx, li.X, li.Y, key, s.parallelism),
-		Context:   s.ctx.Len(),
-		Degraded:  degraded,
-	}
-	for _, a := range key {
-		resp.Features = append(resp.Features, s.schema.Attrs[a].Name)
-	}
+	resp := out.e.resp
 	if s.follower {
 		// Re-check the bound after the solve: a long solve (or a stream that
 		// died mid-request) must not convert an in-bound admission into an
@@ -886,6 +962,88 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-RK-Staleness-MS", strconv.FormatInt(stale, 10))
 	}
 	writeJSON(w, resp)
+}
+
+// explainLocked answers one explain through the cache and flight group
+// (DESIGN.md §15): bypass (cache off or no_cache) solves directly; otherwise
+// the canonical key — context version, solver tag, alpha, instance — is
+// looked up, and misses coalesce so concurrent identical requests run one
+// solve. source is the X-RK-Cache header value: "hit", "miss", "coalesced",
+// or "bypass". Callers hold s.mu (read); the version therefore cannot move
+// under the flight, so every member of a flight shares one solve problem.
+func (s *Server) explainLocked(ctx context.Context, li feature.Labeled, alpha float64, budget time.Duration, noCache bool) (solveOutcome, string) {
+	if s.cache == nil || noCache {
+		s.cacheBypassed.Add(1)
+		cacheBypass.Inc()
+		return s.solveEntryLocked(ctx, li, alpha, budget), "bypass"
+	}
+	ckey := EncodeCacheKey(CacheKey{
+		Version: s.ctx.Version(),
+		Config:  s.solverTag,
+		Alpha:   alpha,
+		Y:       li.Y,
+		X:       li.X,
+	})
+	if e, ok := s.cache.get(ckey, budget); ok {
+		s.cacheHits.Add(1)
+		cacheHit.Inc()
+		return solveOutcome{e: e}, "hit"
+	}
+	out, _, coalesced := s.flights.do(ctx, ckey, budget, func() solveOutcome {
+		o := s.solveEntryLocked(ctx, li, alpha, budget)
+		// Cache every deterministic outcome. A degraded result is cached only
+		// with a positive budget attached (so the serve rule can compare); a
+		// solve degraded by a client disconnect on an unbounded request is
+		// servable to nobody and is not stored.
+		if o.err == nil && (!o.e.degraded || o.e.budget > 0) {
+			s.cache.put(ckey, o.e)
+		}
+		return o
+	})
+	if !coalesced {
+		s.cacheMisses.Add(1)
+		cacheMiss.Inc()
+		return out, "miss"
+	}
+	s.cacheCoalesced.Add(1)
+	cacheCoalesced.Inc()
+	// The leader's outcome may not be usable here: the leader erred or
+	// panicked, this waiter's deadline fired first, or the result degraded
+	// under a shorter budget than this request carries. All of those fall
+	// back to a direct solve — on an expired waiter context the anytime
+	// solver completes on its cheap degraded path, so the fallback cannot
+	// blow the deadline it just missed.
+	if out.err != nil || !out.e.servableFor(budget) {
+		return s.solveEntryLocked(ctx, li, alpha, budget), "miss"
+	}
+	return out, "coalesced"
+}
+
+// solveEntryLocked runs one solve and renders the cacheable outcome: the
+// response body fields (shared verbatim between cached and uncached serving,
+// so the two are byte-identical), the no-key verdict, and the degraded
+// stamp with the budget it was solved under. Callers hold s.mu (read).
+func (s *Server) solveEntryLocked(ctx context.Context, li feature.Labeled, alpha float64, budget time.Duration) solveOutcome {
+	key, degraded, err := s.solve(ctx, s.ctx, li.X, li.Y, alpha)
+	if err == core.ErrNoKey {
+		// The no-key verdict is exact (never deadline-degraded), so it caches
+		// as a first-class deterministic answer.
+		return solveOutcome{e: &cachedExplain{noKey: true, resp: ExplainResponse{Context: s.ctx.Len()}}}
+	}
+	if err != nil {
+		return solveOutcome{err: err}
+	}
+	resp := ExplainResponse{
+		Rule:      key.RenderRule(s.schema, li.X, li.Y),
+		Precision: core.PrecisionPar(s.ctx, li.X, li.Y, key, s.parallelism),
+		Coverage:  core.CoveragePar(s.ctx, li.X, li.Y, key, s.parallelism),
+		Context:   s.ctx.Len(),
+		Degraded:  degraded,
+	}
+	for _, a := range key {
+		resp.Features = append(resp.Features, s.schema.Attrs[a].Name)
+	}
+	return solveOutcome{e: &cachedExplain{resp: resp, degraded: degraded, budget: budget}}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -911,6 +1069,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PersistenceOn:    s.wal != nil || s.snapPath != "",
 		Role:             s.roleLocked(),
 		Epoch:            s.epoch,
+	}
+	if s.cache != nil {
+		resp.CacheActive = true
+		resp.CacheHits = s.cacheHits.Load()
+		resp.CacheMisses = s.cacheMisses.Load()
+		resp.CacheCoalesced = s.cacheCoalesced.Load()
+		resp.CacheBypassed = s.cacheBypassed.Load()
+		resp.CacheEntries, resp.CacheBytes = s.cache.stats()
+	}
+	if s.jobs != nil {
+		resp.Jobs = s.jobs.statsSnapshot()
 	}
 	if s.follower {
 		resp.AppliedSeq = s.seq
