@@ -29,8 +29,11 @@ type cachedExplain struct {
 	resp     ExplainResponse // replica fields unset; filled per request
 	noKey    bool            // the solve proved no α-conformant key exists (409)
 	degraded bool
-	// budget is the solve deadline the entry was produced under; only
-	// meaningful when degraded (0 = unbounded, which never sets degraded).
+	// budget is the effective solve budget the entry was produced under —
+	// min(request deadline, elapsed solve time), so a solve cut short by a
+	// client disconnect is not credited with the full deadline. Only
+	// meaningful when degraded (0 = unbounded, which is never cached
+	// degraded).
 	budget time.Duration
 }
 

@@ -131,7 +131,11 @@ func TestCacheDegradedServeRule(t *testing.T) {
 	schema := robustSchema(t)
 	solve := func(ctx context.Context, c *core.Context, x feature.Instance, y feature.Label, alpha float64) (core.Key, bool, error) {
 		if _, bounded := ctx.Deadline(); bounded {
-			// Pretend the deadline fired mid-solve: a valid but larger key.
+			// Run until the deadline genuinely fires, then yield a valid but
+			// larger key — the honest anytime-degradation shape. (An instant
+			// degraded return would model a cut-short solve, which the cache
+			// deliberately credits with only its elapsed time.)
+			<-ctx.Done()
 			return core.Key{0, 1}, true, nil
 		}
 		return core.Key{0}, false, nil
@@ -195,6 +199,60 @@ func TestCacheDegradedServeRule(t *testing.T) {
 	_, body, src = explainRaw(t, ts.URL, shorter)
 	if src != "hit" || decode(body).Degraded {
 		t.Fatalf("post-upgrade hit: source %q, body %s", src, body)
+	}
+}
+
+// TestCacheDisconnectDegradedNotOverCredited pins the effective-budget stamp:
+// a solve degraded because the client disconnected (request context canceled
+// long before the deadline) ran under a tiny effective budget, and the cached
+// entry must not be credited with the request's nominal deadline — a later
+// request carrying the same deadline re-solves instead of inheriting the
+// cut-short result.
+func TestCacheDisconnectDegradedNotOverCredited(t *testing.T) {
+	schema := robustSchema(t)
+	solve := func(ctx context.Context, c *core.Context, x feature.Instance, y feature.Label, alpha float64) (core.Key, bool, error) {
+		select {
+		case <-ctx.Done():
+			// Cut short: the anytime solver's cheap degraded exit.
+			return core.Key{0, 1}, true, nil
+		default:
+			return core.Key{0}, false, nil
+		}
+	}
+	srv, err := NewServer(Config{Schema: schema, Alpha: 1.0, Solve: solve, SolverTag: "fake"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Warm(robustSeed()); err != nil {
+		t.Fatal(err)
+	}
+	li, err := srv.decode(map[string]string{"Income": "3-4K", "Credit": "poor", "Area": "Urban"}, "Denied")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The disconnect: a request with a generous 30s budget whose context is
+	// already canceled when the solve starts.
+	gone, cancel := context.WithCancel(context.Background())
+	cancel()
+	budget := 30 * time.Second
+	srv.mu.RLock()
+	out, _ := srv.explainLocked(gone, li, 1.0, budget, false)
+	srv.mu.RUnlock()
+	if out.err != nil || !out.e.resp.Degraded {
+		t.Fatalf("disconnected solve: err=%v degraded=%v, want a degraded result", out.err, out.e != nil && out.e.resp.Degraded)
+	}
+
+	// A live request with the SAME budget must not be served that entry: the
+	// full 30s could produce the exact key.
+	srv.mu.RLock()
+	out, src := srv.explainLocked(context.Background(), li, 1.0, budget, false)
+	srv.mu.RUnlock()
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if src == "hit" || out.e.resp.Degraded {
+		t.Fatalf("full-budget request after a disconnect-degraded solve: source=%q degraded=%v, want a fresh exact solve", src, out.e.resp.Degraded)
 	}
 }
 

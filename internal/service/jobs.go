@@ -299,7 +299,9 @@ func (st *jobStore) resume() error {
 		j.log = log
 		st.resumed.Add(1)
 		jobEvtResumed.Inc()
-		st.enqueue(j)
+		if err := st.enqueue(j); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -367,21 +369,37 @@ func (st *jobStore) submit(items []feature.Labeled, alpha float64, deadline time
 		}
 		j.log = log
 	}
+	if err := st.enqueue(j); err != nil {
+		// The store stopped between the handler's drain check and here; undo
+		// the durable submit so the rejected job does not resurrect on the
+		// next boot behind the client's 503.
+		st.closeJobLog(j)
+		if st.dir != "" {
+			os.Remove(st.specPath(id)) //rkvet:ignore dropperr best-effort cleanup of a rejected submit
+			os.Remove(st.logPath(id))  //rkvet:ignore dropperr best-effort cleanup of a rejected submit
+		}
+		return "", err
+	}
 	st.submitted.Add(1)
 	jobEvtSubmitted.Inc()
-	st.enqueue(j)
 	return id, nil
 }
 
-// enqueue registers the job and nudges (lazily starting) the runner.
-func (st *jobStore) enqueue(j *job) {
+// enqueue registers the job and nudges (lazily starting) the runner. It
+// re-checks stopped under st.mu: a submit racing Close() must be rejected
+// here, or the job would sit "queued" forever with no runner to pick it up.
+func (st *jobStore) enqueue(j *job) error {
 	st.mu.Lock()
+	if st.stopped {
+		st.mu.Unlock()
+		return errDraining
+	}
 	if _, ok := st.jobs[j.id]; !ok {
 		st.jobs[j.id] = j
 		st.order = append(st.order, j.id)
 	}
 	st.queue = append(st.queue, j)
-	if !st.runnerOn && !st.stopped {
+	if !st.runnerOn {
 		st.runnerOn = true
 		go st.run()
 	}
@@ -390,6 +408,7 @@ func (st *jobStore) enqueue(j *job) {
 	case st.wake <- struct{}{}:
 	default:
 	}
+	return nil
 }
 
 // run is the single runner goroutine: pop, solve, repeat.
@@ -666,7 +685,13 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	for {
 		status, change := j.snapshot(true)
 		for ; sent < len(status.Results); sent++ {
-			if _, err := w.Write(append(status.Results[sent], '\n')); err != nil {
+			// Two writes, not append(result, '\n'): the RawMessage backing
+			// array is shared with the stored job results and every other
+			// streamer, and an in-place append would race on the byte past len.
+			if _, err := w.Write(status.Results[sent]); err != nil {
+				return
+			}
+			if _, err := io.WriteString(w, "\n"); err != nil {
 				return
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -13,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/xai-db/relativekeys/internal/feature"
 	"github.com/xai-db/relativekeys/internal/persist"
 )
 
@@ -202,6 +204,43 @@ func TestJobValidation(t *testing.T) {
 		if resp.StatusCode != http.StatusNotFound {
 			t.Errorf("%s: status %d, want 404", path, resp.StatusCode)
 		}
+	}
+}
+
+// TestJobSubmitAfterStoreStopped pins the shutdown race: a submit that slips
+// past the handler's drain check after Close() began must be rejected by the
+// store itself — accepted-but-never-run jobs would poll as "queued" forever.
+// A rejected persisted submit also leaves no spec behind to resurrect on the
+// next boot.
+func TestJobSubmitAfterStoreStopped(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := NewServer(Config{Schema: robustSchema(t), Alpha: 1.0, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Warm(robustSeed()); err != nil {
+		t.Fatal(err)
+	}
+	li, err := srv.decode(map[string]string{"Income": "3-4K", "Credit": "poor", "Area": "Urban"}, "Denied")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.jobs.close()
+	if _, err := srv.jobs.submit([]feature.Labeled{li}, 1.0, 0); !errors.Is(err, errDraining) {
+		t.Fatalf("submit after store close: %v, want errDraining", err)
+	}
+	if n := len(srv.jobs.list()); n != 0 {
+		t.Fatalf("rejected submit registered %d job(s)", n)
+	}
+	specs, err := filepath.Glob(filepath.Join(srv.jobs.dir, "*"+jobSpecSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 0 {
+		t.Fatalf("rejected submit left spec files behind: %v", specs)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -229,6 +229,61 @@ func TestInstallSnapshotSwapsAtomically(t *testing.T) {
 	}
 }
 
+// TestInstallSnapshotInvalidatesExplainCache pins the cache-version contract
+// across snapshot catch-up: InstallSnapshot swaps in a fresh context whose
+// Version() restarts at zero, so without a monotonic base on the Server a
+// cached pre-snapshot entry would collide with a post-snapshot key carrying
+// the same version number and be served for different context content.
+func TestInstallSnapshotInvalidatesExplainCache(t *testing.T) {
+	srv := newFollowerServer(t, "") // cache is on by default
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	ctx := context.Background()
+	seed := robustSeed()
+
+	// Three applied rows put the context at version 3; the explain below is
+	// cached under that version.
+	for i, li := range seed[:3] {
+		if err := srv.ApplyReplicated(ctx, uint64(i+1), li); err != nil {
+			t.Fatal(err)
+		}
+	}
+	row := map[string]string{"Income": "5-6K", "Credit": "good", "Area": "Rural"}
+	resp := postJSON(t, ts.URL+"/explain", ExplainRequest{Values: row, Prediction: "Approved"})
+	resp.Body.Close() //rkvet:ignore dropperr test response close
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-install explain: %d, want 200", resp.StatusCode)
+	}
+
+	// Install a snapshot of three DIFFERENT rows: the fresh context's version
+	// is again 3, the exact collision the version base must prevent.
+	if err := srv.InstallSnapshot(ctx, robustSchema(t), seed[3:], 42); err != nil {
+		t.Fatal(err)
+	}
+
+	resp = postJSON(t, ts.URL+"/explain", ExplainRequest{Values: row, Prediction: "Approved"})
+	var cached ExplainResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cached); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //rkvet:ignore dropperr test response close
+	if src := resp.Header.Get("X-RK-Cache"); src == "hit" {
+		t.Fatal("post-install explain served a pre-snapshot cache entry")
+	}
+	// The served answer must equal a cache-bypassed solve against the
+	// installed rows in every explanation field.
+	resp = postJSON(t, ts.URL+"/explain", ExplainRequest{Values: row, Prediction: "Approved", NoCache: true})
+	var fresh ExplainResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fresh); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //rkvet:ignore dropperr test response close
+	if cached.Rule != fresh.Rule || cached.Precision != fresh.Precision ||
+		cached.Coverage != fresh.Coverage || cached.Context != fresh.Context { //rkvet:ignore floateq byte-identical responses share exact float values
+		t.Fatalf("post-install cached response diverges from bypass: %+v vs %+v", cached, fresh)
+	}
+}
+
 func TestWALCompaction(t *testing.T) {
 	dir := t.TempDir()
 	schema := robustSchema(t)

@@ -108,6 +108,11 @@ func (s *Server) InstallSnapshot(ctx context.Context, schema *feature.Schema, it
 			}
 		}
 	}
+	// The fresh context's Version() restarts at zero; advance the base past
+	// every version the old context used so cache keys stay monotonic and a
+	// pre-snapshot entry can never be served for post-snapshot content
+	// (mirrors cce.Window.Reset's ctxVersionBase bump).
+	s.ctxVersionBase += s.ctx.Version() + 1
 	s.ctx = nctx
 	s.order, s.orderHead = order, 0
 	if s.retain > 0 {

@@ -148,6 +148,12 @@ type Server struct {
 	ctx     *core.Context // guarded by mu
 	monitor DriftObserver // guarded by mu
 
+	// ctxVersionBase keeps the cache-key version monotonic across context
+	// swaps (InstallSnapshot replaces s.ctx with a fresh context whose
+	// Version() restarts at zero), mirroring cce.Window.ctxVersionBase: a
+	// pre-swap cache entry must never collide with a post-swap version.
+	ctxVersionBase uint64 // guarded by mu
+
 	// order tracks live context slots oldest-first when retention is on.
 	order     []int // guarded by mu
 	orderHead int   // guarded by mu
@@ -978,7 +984,7 @@ func (s *Server) explainLocked(ctx context.Context, li feature.Labeled, alpha fl
 		return s.solveEntryLocked(ctx, li, alpha, budget), "bypass"
 	}
 	ckey := EncodeCacheKey(CacheKey{
-		Version: s.ctx.Version(),
+		Version: s.ctxVersionBase + s.ctx.Version(),
 		Config:  s.solverTag,
 		Alpha:   alpha,
 		Y:       li.Y,
@@ -1022,8 +1028,14 @@ func (s *Server) explainLocked(ctx context.Context, li feature.Labeled, alpha fl
 // solveEntryLocked runs one solve and renders the cacheable outcome: the
 // response body fields (shared verbatim between cached and uncached serving,
 // so the two are byte-identical), the no-key verdict, and the degraded
-// stamp with the budget it was solved under. Callers hold s.mu (read).
+// stamp with the budget it effectively ran under. A degraded entry is
+// stamped with min(nominal deadline, elapsed solve time): a solve cut short
+// by the client disconnecting ran under a smaller effective budget than the
+// request's deadline, and stamping the nominal value would let that entry
+// satisfy every later request up to the full deadline without a re-solve.
+// Callers hold s.mu (read).
 func (s *Server) solveEntryLocked(ctx context.Context, li feature.Labeled, alpha float64, budget time.Duration) solveOutcome {
+	start := time.Now()
 	key, degraded, err := s.solve(ctx, s.ctx, li.X, li.Y, alpha)
 	if err == core.ErrNoKey {
 		// The no-key verdict is exact (never deadline-degraded), so it caches
@@ -1043,7 +1055,13 @@ func (s *Server) solveEntryLocked(ctx context.Context, li feature.Labeled, alpha
 	for _, a := range key {
 		resp.Features = append(resp.Features, s.schema.Attrs[a].Name)
 	}
-	return solveOutcome{e: &cachedExplain{resp: resp, degraded: degraded, budget: budget}}
+	stamp := budget
+	if degraded && budget > 0 {
+		if elapsed := time.Since(start); elapsed < stamp {
+			stamp = elapsed
+		}
+	}
+	return solveOutcome{e: &cachedExplain{resp: resp, degraded: degraded, budget: stamp}}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
